@@ -1,0 +1,49 @@
+//! Figure 6: limit study — application throughput (and throughput per
+//! estimated area) versus the aggregate bandwidth of a zero-latency
+//! network, expressed as a fraction of peak off-chip DRAM bandwidth.
+
+use tenoc_bench::{experiments, header, Preset};
+use tenoc_core::area::COMPUTE_AREA_MM2;
+use tenoc_core::harmonic_mean;
+use tenoc_core::presets::bw_limit_flits_per_icnt_cycle;
+
+fn main() {
+    header("Figure 6", "bandwidth limit study with a zero-latency network");
+    let scale = experiments::scale_from_env();
+
+    // Reference: infinite bandwidth (perfect network).
+    let perfect = experiments::run_suite(Preset::Perfect, scale);
+    let perfect_hm = harmonic_mean(perfect.iter().map(|r| r.metrics.ipc));
+
+    // The baseline mesh's bisection point: 12 links x 16 B at the marked
+    // x = 0.816 of the paper.
+    let base_frac = 0.816;
+    // NoC area is proportional to the square of channel bandwidth; the
+    // baseline (16 B channels at x = 0.816) costs ~90 mm².
+    let base_noc_area = 90.0;
+
+    println!(
+        "{:>6} {:>12} {:>10} {:>12} {:>14}",
+        "x", "flits/iclk", "HM IPC", "norm. IPC", "norm. IPC/mm2"
+    );
+    let mut max_te = 0.0f64;
+    let mut argmax = 0.0;
+    for pct in [0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0, 1.2, 1.4, 1.6] {
+        let results = experiments::run_suite(Preset::BwLimited(pct), scale);
+        let hm = harmonic_mean(results.iter().map(|r| r.metrics.ipc));
+        let area = COMPUTE_AREA_MM2 + base_noc_area * (pct / base_frac) * (pct / base_frac);
+        let te = hm / area;
+        if te > max_te {
+            max_te = te;
+            argmax = pct;
+        }
+        println!(
+            "{pct:>6.2} {:>12.2} {hm:>10.1} {:>12.3} {:>14.5}",
+            bw_limit_flits_per_icnt_cycle(pct, 8),
+            hm / perfect_hm,
+            te / (perfect_hm / (COMPUTE_AREA_MM2 + base_noc_area)),
+        );
+    }
+    println!("\nthroughput/cost peaks at x = {argmax:.2} (paper: optimum around 0.7-0.8,");
+    println!("with x = 0.816 ~= a 16-byte-channel mesh reaching ~93% of infinite bandwidth)");
+}

@@ -1,0 +1,23 @@
+//! Figure 7: speedup of a perfect interconnect over the baseline mesh,
+//! per benchmark, with the LL/LH/HH classification.
+
+use tenoc_bench::{experiments, header, hm_of_percent, hm_of_percent_class, print_speedup_rows, Preset};
+use tenoc_workloads::TrafficClass;
+
+fn main() {
+    header("Figure 7", "speedup of a perfect network over the baseline mesh");
+    let scale = experiments::scale_from_env();
+    let base = experiments::run_suite(Preset::BaselineTbDor, scale);
+    let perfect = experiments::run_suite(Preset::Perfect, scale);
+    let rows = experiments::speedups_percent(&base, &perfect);
+    print_speedup_rows(&rows);
+    println!("\nHM speedup (all): {:+.1}%   (paper: 36%)", hm_of_percent(&rows));
+    println!(
+        "HM speedup (HH):  {:+.1}%   (paper: 87%)",
+        hm_of_percent_class(&rows, TrafficClass::HH)
+    );
+    println!(
+        "HM speedup (LL):  {:+.1}%   (paper: low, < 30% per benchmark)",
+        hm_of_percent_class(&rows, TrafficClass::LL)
+    );
+}

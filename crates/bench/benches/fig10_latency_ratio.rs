@@ -1,0 +1,28 @@
+//! Figure 10: in-network latency reduction of 1-cycle routers over the
+//! baseline 4-cycle routers (ratio of mean packet network latencies).
+
+use tenoc_bench::{experiments, header, Preset};
+
+fn main() {
+    header("Figure 10", "NoC latency ratio: 1-cycle routers / 4-cycle routers");
+    let scale = experiments::scale_from_env();
+    let base = experiments::run_suite(Preset::BaselineTbDor, scale);
+    let fast = experiments::run_suite(Preset::TbDor1Cycle, scale);
+    println!("{:>6} {:>5} {:>10} {:>10} {:>7}", "bench", "class", "lat(4cyc)", "lat(1cyc)", "ratio");
+    let mut ratios = Vec::new();
+    for (b, f) in base.iter().zip(&fast) {
+        let ratio = f.metrics.avg_net_latency / b.metrics.avg_net_latency;
+        println!(
+            "{:>6} {:>5} {:>10.1} {:>10.1} {:>7.2}",
+            b.name,
+            b.class.to_string(),
+            b.metrics.avg_net_latency,
+            f.metrics.avg_net_latency,
+            ratio
+        );
+        ratios.push(ratio);
+    }
+    let mean = ratios.iter().sum::<f64>() / ratios.len() as f64;
+    println!("\nmean latency ratio: {mean:.2} (paper: roughly 0.5-0.9 across benchmarks,");
+    println!("yet Figure 9 shows this buys almost no application speedup)");
+}

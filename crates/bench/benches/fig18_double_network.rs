@@ -1,0 +1,16 @@
+//! Figure 18: channel-sliced double network (two 8 B networks, one per
+//! traffic class) versus the single 16 B network with 4 VCs — both with
+//! checkerboard routing and placement.
+
+use tenoc_bench::{experiments, header, hm_of_percent, print_speedup_rows, Preset};
+
+fn main() {
+    header("Figure 18", "double network (2 x 8B) vs single network (16B, 4VC)");
+    let scale = experiments::scale_from_env();
+    let single = experiments::run_suite(Preset::CpCr4vc, scale);
+    let double = experiments::run_suite(Preset::DoubleCpCr, scale);
+    let rows = experiments::speedups_percent(&single, &double);
+    print_speedup_rows(&rows);
+    println!("\nHM speedup: {:+.1}% (paper: ~+1%, i.e. no change, while the", hm_of_percent(&rows));
+    println!("crossbar area shrinks quadratically — see tab06_area)");
+}

@@ -1,0 +1,77 @@
+//! # tenoc-bench — figure/table regeneration harnesses
+//!
+//! Each `[[bench]]` target of this crate regenerates one table or figure
+//! of *Throughput-Effective On-Chip Networks for Manycore Accelerators*
+//! (MICRO 2010) and prints the same rows/series the paper reports:
+//!
+//! | target | reproduces |
+//! |---|---|
+//! | `fig02_design_space` | Figure 2 (IPC vs 1/mm² scatter) |
+//! | `fig06_limit_study` | Figure 6 (bandwidth limit study) |
+//! | `fig07_perfect_noc` | Figure 7 (perfect-NoC speedups) |
+//! | `fig08_mc_injection` | Figure 8 (speedup vs MC injection rate) |
+//! | `fig09_bw_vs_latency` | Figure 9 (2x bandwidth vs 1-cycle router) |
+//! | `fig10_latency_ratio` | Figure 10 (NoC latency ratio) |
+//! | `fig11_mc_stall` | Figure 11 (MC reply-injection stalls) |
+//! | `fig16_placement` | Figure 16 (checkerboard MC placement) |
+//! | `fig17_checkerboard_routing` | Figure 17 (CR vs DOR) |
+//! | `fig18_double_network` | Figure 18 (channel-sliced double network) |
+//! | `fig19_multiport` | Figure 19 (multi-port MC routers) |
+//! | `fig20_combined` | Figure 20 (combined throughput-effective design) |
+//! | `fig21_open_loop` | Figure 21 (open-loop latency curves) |
+//! | `tab06_area` | Table VI (area model) |
+//! | `perf_micro` | criterion microbenchmarks of the simulator itself |
+//!
+//! Run all of them with `cargo bench --workspace`. By default kernels are
+//! scaled down (`TENOC_SCALE`, default 0.12) so the full set finishes in
+//! minutes; set `TENOC_FULL=1` for full-length runs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use tenoc_core::experiments::SuiteResult;
+use tenoc_workloads::TrafficClass;
+
+pub use tenoc_core::experiments;
+pub use tenoc_core::presets::Preset;
+
+/// Prints a standard figure header with the scale in effect.
+pub fn header(fig: &str, what: &str) {
+    let scale = tenoc_core::experiments::scale_from_env();
+    println!("================================================================");
+    println!("{fig}: {what}");
+    println!("(kernel scale {scale}; TENOC_FULL=1 for full-length runs)");
+    println!("================================================================");
+}
+
+/// Prints one per-benchmark percentage row set.
+pub fn print_speedup_rows(rows: &[(String, TrafficClass, f64)]) {
+    println!("{:>6} {:>5} {:>9}", "bench", "class", "value");
+    for (name, class, v) in rows {
+        println!("{name:>6} {class:>5} {v:>+8.1}%");
+    }
+}
+
+/// Harmonic mean over the speedup *ratios* implied by percentage rows,
+/// expressed back as a percentage.
+pub fn hm_of_percent(rows: &[(String, TrafficClass, f64)]) -> f64 {
+    let hm = tenoc_core::harmonic_mean(rows.iter().map(|(_, _, p)| 1.0 + p / 100.0));
+    (hm - 1.0) * 100.0
+}
+
+/// Harmonic mean restricted to one class, as a percentage.
+pub fn hm_of_percent_class(rows: &[(String, TrafficClass, f64)], class: TrafficClass) -> f64 {
+    let hm = tenoc_core::harmonic_mean(
+        rows.iter().filter(|(_, c, _)| *c == class).map(|(_, _, p)| 1.0 + p / 100.0),
+    );
+    (hm - 1.0) * 100.0
+}
+
+/// Convenience accessor for a benchmark's metrics within a sweep.
+///
+/// # Panics
+///
+/// Panics if the benchmark is missing from the sweep.
+pub fn find<'a>(results: &'a [SuiteResult], name: &str) -> &'a SuiteResult {
+    results.iter().find(|r| r.name == name).expect("benchmark present in sweep")
+}

@@ -1,0 +1,76 @@
+//! Warp memory-access coalescing (the divergence-detection stage).
+//!
+//! Global loads and stores from the scalar threads of a warp are coalesced
+//! so that only one transaction is generated per distinct cache line
+//! (paper Section II, following the CUDA programming guide's coalescing
+//! rules at the cache-line granularity).
+
+/// Collapses per-lane byte addresses into the ordered set of distinct
+/// line-aligned addresses they touch.
+///
+/// `None` lanes (inactive threads under divergence) generate no traffic.
+/// Order of first touch is preserved, which keeps the generated
+/// transaction stream deterministic.
+///
+/// # Panics
+///
+/// Panics if `line_bytes` is not a power of two.
+pub fn coalesce<I>(lane_addrs: I, line_bytes: u64) -> Vec<u64>
+where
+    I: IntoIterator<Item = Option<u64>>,
+{
+    assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+    let mask = !(line_bytes - 1);
+    let mut out = Vec::new();
+    for addr in lane_addrs.into_iter().flatten() {
+        let line = addr & mask;
+        if !out.contains(&line) {
+            out.push(line);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_stride_warp_coalesces_to_two_lines() {
+        // 32 threads x 4-byte accesses, consecutive: 128 B = 2 x 64 B lines.
+        let addrs = (0..32).map(|i| Some(0x1000 + i * 4));
+        let lines = coalesce(addrs, 64);
+        assert_eq!(lines, vec![0x1000, 0x1040]);
+    }
+
+    #[test]
+    fn same_address_collapses_to_one() {
+        let addrs = (0..32).map(|_| Some(0x42u64));
+        assert_eq!(coalesce(addrs, 64), vec![0x40]);
+    }
+
+    #[test]
+    fn fully_divergent_warp_generates_32_transactions() {
+        // Stride of one line per lane: worst case.
+        let addrs = (0..32u64).map(|i| Some(i * 64));
+        assert_eq!(coalesce(addrs, 64).len(), 32);
+    }
+
+    #[test]
+    fn inactive_lanes_ignored() {
+        let addrs = (0..32u64).map(|i| if i % 2 == 0 { Some(i * 4) } else { None });
+        let lines = coalesce(addrs, 64);
+        assert_eq!(lines, vec![0x0, 0x40]);
+    }
+
+    #[test]
+    fn empty_warp_generates_nothing() {
+        assert!(coalesce(std::iter::repeat_n(None, 32), 64).is_empty());
+    }
+
+    #[test]
+    fn first_touch_order_preserved() {
+        let addrs = [Some(0x100u64), Some(0x000), Some(0x140), Some(0x010)];
+        assert_eq!(coalesce(addrs, 64), vec![0x100, 0x000, 0x140]);
+    }
+}

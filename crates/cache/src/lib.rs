@@ -1,0 +1,40 @@
+//! # tenoc-cache — caches, MSHRs and warp access coalescing
+//!
+//! The cache hierarchy substrate for the accelerator model:
+//!
+//! * [`Cache`] — a set-associative, LRU cache with write-back/write-through
+//!   and write-allocate/no-write-allocate policies, probed and filled
+//!   explicitly so the timing simulator controls when misses return.
+//! * [`MshrTable`] — miss status holding registers with same-line merging
+//!   (64 per core in the paper's Table II).
+//! * [`coalesce`] — the memory divergence/coalescing stage (DD in the
+//!   paper's Figure 4): collapses the 32 scalar accesses of a warp into
+//!   the minimal set of cache-line transactions.
+//!
+//! # Example
+//!
+//! ```
+//! use tenoc_cache::{Cache, CacheConfig, Access, LookupResult};
+//!
+//! let mut l1 = Cache::new(CacheConfig::l1_16k());
+//! match l1.access(0x80, Access::Read) {
+//!     LookupResult::Miss => {
+//!         // fetch from memory, then:
+//!         let evicted = l1.fill(0x80);
+//!         assert!(evicted.is_none());
+//!     }
+//!     LookupResult::Hit => unreachable!("cold cache"),
+//! }
+//! assert_eq!(l1.access(0x80, Access::Read), LookupResult::Hit);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod coalescer;
+pub mod mshr;
+
+pub use cache::{Access, Cache, CacheConfig, CacheStats, Eviction, LookupResult, ReplacementPolicy, WritePolicy};
+pub use coalescer::coalesce;
+pub use mshr::{MshrOutcome, MshrTable};

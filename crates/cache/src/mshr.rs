@@ -1,0 +1,134 @@
+//! Miss status holding registers (MSHRs) with same-line merging.
+
+use std::collections::HashMap;
+
+/// Outcome of presenting a miss to the MSHR table.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum MshrOutcome {
+    /// A new entry was allocated; the caller must issue a memory fetch for
+    /// this line.
+    Allocated,
+    /// An entry for the line already existed; the access was merged and no
+    /// new fetch is needed.
+    Merged,
+    /// The table (or the entry's target list) is full; the access must be
+    /// replayed later.
+    Full,
+}
+
+/// A table of MSHRs, keyed by line address.
+///
+/// Each entry tracks the opaque targets (e.g. warp slots) waiting on the
+/// line. The paper's cores have 64 MSHRs each.
+#[derive(Clone, Debug)]
+pub struct MshrTable {
+    capacity: usize,
+    max_targets: usize,
+    entries: HashMap<u64, Vec<u64>>,
+}
+
+impl MshrTable {
+    /// Creates a table with `capacity` entries of up to `max_targets`
+    /// merged targets each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either limit is zero.
+    pub fn new(capacity: usize, max_targets: usize) -> Self {
+        assert!(capacity > 0 && max_targets > 0);
+        MshrTable { capacity, max_targets, entries: HashMap::with_capacity(capacity) }
+    }
+
+    /// Entries in use.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no entry is allocated.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// `true` when no further entry can be allocated.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    /// `true` if a fetch for `line_addr` is outstanding.
+    pub fn contains(&self, line_addr: u64) -> bool {
+        self.entries.contains_key(&line_addr)
+    }
+
+    /// Presents a miss for `line_addr` on behalf of `target`.
+    pub fn allocate(&mut self, line_addr: u64, target: u64) -> MshrOutcome {
+        if let Some(targets) = self.entries.get_mut(&line_addr) {
+            if targets.len() >= self.max_targets {
+                return MshrOutcome::Full;
+            }
+            targets.push(target);
+            return MshrOutcome::Merged;
+        }
+        if self.entries.len() >= self.capacity {
+            return MshrOutcome::Full;
+        }
+        self.entries.insert(line_addr, vec![target]);
+        MshrOutcome::Allocated
+    }
+
+    /// Completes the fetch for `line_addr`, releasing the entry and
+    /// returning the merged targets (in arrival order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no entry exists — a completion without an allocation is a
+    /// simulator bug.
+    pub fn complete(&mut self, line_addr: u64) -> Vec<u64> {
+        self.entries
+            .remove(&line_addr)
+            .unwrap_or_else(|| panic!("MSHR completion for unallocated line {line_addr:#x}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_then_merge_then_complete() {
+        let mut m = MshrTable::new(4, 8);
+        assert_eq!(m.allocate(0x100, 1), MshrOutcome::Allocated);
+        assert_eq!(m.allocate(0x100, 2), MshrOutcome::Merged);
+        assert_eq!(m.allocate(0x100, 3), MshrOutcome::Merged);
+        assert_eq!(m.len(), 1, "merged accesses share one entry");
+        assert_eq!(m.complete(0x100), vec![1, 2, 3]);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn capacity_limits_distinct_lines() {
+        let mut m = MshrTable::new(2, 8);
+        assert_eq!(m.allocate(0x000, 0), MshrOutcome::Allocated);
+        assert_eq!(m.allocate(0x040, 1), MshrOutcome::Allocated);
+        assert_eq!(m.allocate(0x080, 2), MshrOutcome::Full);
+        assert!(m.is_full());
+        // Merging into existing entries still works at capacity.
+        assert_eq!(m.allocate(0x000, 3), MshrOutcome::Merged);
+        m.complete(0x000);
+        assert_eq!(m.allocate(0x080, 2), MshrOutcome::Allocated);
+    }
+
+    #[test]
+    fn target_limit_enforced() {
+        let mut m = MshrTable::new(4, 2);
+        assert_eq!(m.allocate(0x0, 0), MshrOutcome::Allocated);
+        assert_eq!(m.allocate(0x0, 1), MshrOutcome::Merged);
+        assert_eq!(m.allocate(0x0, 2), MshrOutcome::Full);
+    }
+
+    #[test]
+    #[should_panic(expected = "unallocated")]
+    fn complete_without_allocate_panics() {
+        let mut m = MshrTable::new(4, 4);
+        m.complete(0xdead);
+    }
+}

@@ -1,0 +1,36 @@
+use tenoc_core::experiments::{hm_speedup, run_suite, speedups_percent};
+use tenoc_core::presets::Preset;
+
+fn main() {
+    let scale = std::env::var("TENOC_SCALE").ok().and_then(|v| v.parse().ok()).unwrap_or(0.1);
+    let base = run_suite(Preset::BaselineTbDor, scale);
+    eprintln!("baseline done");
+    println!("{:6} {:3} {:>9} {:>7} {:>7} {:>7}", "bench", "cls", "ipc", "mcinj", "stall", "dramE");
+    for r in &base {
+        println!(
+            "{:6} {:3} {:9.2} {:7.3} {:7.3} {:7.3}",
+            r.name, r.class.to_string(), r.metrics.ipc, r.metrics.mc_injection_rate,
+            r.metrics.mc_stall_fraction, r.metrics.dram_efficiency
+        );
+    }
+    for p in [
+        Preset::Perfect,
+        Preset::TbDor2xBw,
+        Preset::TbDor1Cycle,
+        Preset::CpDor2vc,
+        Preset::CpDor4vc,
+        Preset::CpCr4vc,
+        Preset::DoubleCpCr,
+        Preset::DoubleCpCr2InjPorts,
+        Preset::DoubleCpCr2Both,
+    ] {
+        let r = run_suite(p, scale);
+        let sp = speedups_percent(&base, &r);
+        print!("\n== {} (HM speedup {:+.1}%)\n   ", p.label(), (hm_speedup(&base, &r) - 1.0) * 100.0);
+        for (name, _, s) in &sp {
+            print!("{name}:{s:+.0}% ");
+        }
+        println!();
+        eprintln!("{} done", p.label());
+    }
+}

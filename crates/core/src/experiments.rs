@@ -1,0 +1,177 @@
+//! Experiment runners: one closed-loop run per (design point, benchmark),
+//! plus suite sweeps used by the figure-regeneration benches.
+
+use crate::metrics::RunMetrics;
+use crate::presets::Preset;
+use crate::system::{IcntConfig, System, SystemConfig};
+use tenoc_simt::{KernelSpec, TrafficClass};
+
+/// One benchmark's result within a suite sweep.
+#[derive(Clone, Debug)]
+pub struct SuiteResult {
+    /// Benchmark abbreviation.
+    pub name: String,
+    /// Traffic class.
+    pub class: TrafficClass,
+    /// Closed-loop metrics.
+    pub metrics: RunMetrics,
+}
+
+/// Runs one benchmark on one design point. `scale` shortens the kernel
+/// (1.0 = full length; the harness default is read from the environment
+/// via [`scale_from_env`]).
+///
+/// # Panics
+///
+/// Panics if the run hits the safety cycle limit without completing —
+/// closed-loop runs must always drain.
+pub fn run_benchmark(preset: Preset, spec: &KernelSpec, scale: f64) -> RunMetrics {
+    run_with_icnt(preset.icnt(6), spec, scale)
+}
+
+/// Runs one benchmark on an explicit interconnect configuration.
+///
+/// # Panics
+///
+/// Panics if the run does not complete (deadlock or cycle-limit).
+pub fn run_with_icnt(icnt: IcntConfig, spec: &KernelSpec, scale: f64) -> RunMetrics {
+    run_with_system_config(SystemConfig::with_icnt(icnt), spec, scale)
+}
+
+/// Runs one benchmark on a fully explicit system configuration (used by
+/// ablation studies that vary non-NoC parameters such as the DRAM
+/// scheduling policy or L2 geometry).
+///
+/// # Panics
+///
+/// Panics if the run does not complete (deadlock or cycle-limit).
+pub fn run_with_system_config(cfg: SystemConfig, spec: &KernelSpec, scale: f64) -> RunMetrics {
+    let scaled = spec.scaled(scale);
+    let mut sys = System::new(cfg, &scaled);
+    let m = sys.run();
+    assert!(m.completed, "{} did not complete (possible deadlock)", scaled.name);
+    m
+}
+
+/// Runs a whole benchmark list on one design point.
+pub fn run_list(preset: Preset, specs: &[KernelSpec], scale: f64) -> Vec<SuiteResult> {
+    specs
+        .iter()
+        .map(|spec| SuiteResult {
+            name: spec.name.clone(),
+            class: spec.class,
+            metrics: run_benchmark(preset, spec, scale),
+        })
+        .collect()
+}
+
+/// Runs the full 31-benchmark suite on one design point.
+pub fn run_suite(preset: Preset, scale: f64) -> Vec<SuiteResult> {
+    run_list(preset, &tenoc_workloads::suite(), scale)
+}
+
+/// Kernel-length scale factor for harness runs: `TENOC_FULL=1` selects
+/// full-length kernels, `TENOC_SCALE=<f>` an explicit factor; the default
+/// is 0.12 (fast, preserves every qualitative trend).
+pub fn scale_from_env() -> f64 {
+    if std::env::var("TENOC_FULL").map(|v| v == "1").unwrap_or(false) {
+        return 1.0;
+    }
+    std::env::var("TENOC_SCALE")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .filter(|f| *f > 0.0)
+        .unwrap_or(0.12)
+}
+
+/// Per-benchmark speedup (percent) of `new` over `base`, matched by name.
+///
+/// # Panics
+///
+/// Panics if the two sweeps cover different benchmarks.
+pub fn speedups_percent(base: &[SuiteResult], new: &[SuiteResult]) -> Vec<(String, TrafficClass, f64)> {
+    assert_eq!(base.len(), new.len(), "mismatched sweeps");
+    base.iter()
+        .zip(new)
+        .map(|(b, n)| {
+            assert_eq!(b.name, n.name, "benchmark order mismatch");
+            (b.name.clone(), b.class, (n.metrics.ipc / b.metrics.ipc - 1.0) * 100.0)
+        })
+        .collect()
+}
+
+/// Harmonic-mean IPC of a sweep.
+pub fn hm_ipc(results: &[SuiteResult]) -> f64 {
+    crate::metrics::harmonic_mean(results.iter().map(|r| r.metrics.ipc))
+}
+
+/// Harmonic-mean IPC restricted to one class.
+pub fn hm_ipc_class(results: &[SuiteResult], class: TrafficClass) -> f64 {
+    crate::metrics::harmonic_mean(
+        results.iter().filter(|r| r.class == class).map(|r| r.metrics.ipc),
+    )
+}
+
+/// Harmonic mean of per-benchmark speedup ratios (as the paper reports
+/// "harmonic mean speedup").
+pub fn hm_speedup(base: &[SuiteResult], new: &[SuiteResult]) -> f64 {
+    let ratios: Vec<f64> = base
+        .iter()
+        .zip(new)
+        .map(|(b, n)| n.metrics.ipc / b.metrics.ipc)
+        .collect();
+    crate::metrics::harmonic_mean(ratios)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tenoc_workloads::by_name;
+
+    const SCALE: f64 = 0.05;
+
+    #[test]
+    fn baseline_run_completes_for_each_class_representative() {
+        for name in ["HIS", "MM", "RD"] {
+            let spec = by_name(name).unwrap();
+            let m = run_benchmark(Preset::BaselineTbDor, &spec, SCALE);
+            assert!(m.completed, "{name}");
+            assert!(m.ipc > 0.0);
+        }
+    }
+
+    #[test]
+    fn perfect_network_speedup_is_larger_for_hh_than_ll() {
+        let ll = by_name("AES").unwrap();
+        let hh = by_name("RD").unwrap();
+        let sp = |spec: &tenoc_simt::KernelSpec| {
+            let base = run_benchmark(Preset::BaselineTbDor, spec, SCALE);
+            let perfect = run_benchmark(Preset::Perfect, spec, SCALE);
+            perfect.ipc / base.ipc
+        };
+        let sp_ll = sp(&ll);
+        let sp_hh = sp(&hh);
+        assert!(
+            sp_hh > sp_ll,
+            "HH speedup ({sp_hh:.2}) must exceed LL speedup ({sp_ll:.2})"
+        );
+        assert!(sp_ll < 1.35, "LL must be nearly network-insensitive: {sp_ll:.2}");
+    }
+
+    #[test]
+    fn scale_env_default() {
+        // Not setting the env vars in tests: default applies.
+        let s = scale_from_env();
+        assert!(s > 0.0 && s <= 1.0);
+    }
+
+    #[test]
+    fn speedups_are_matched_by_name() {
+        let specs = [by_name("HIS").unwrap()];
+        let a = run_list(Preset::BaselineTbDor, &specs, SCALE);
+        let b = run_list(Preset::Perfect, &specs, SCALE);
+        let s = speedups_percent(&a, &b);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].0, "HIS");
+    }
+}

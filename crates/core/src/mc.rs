@@ -1,0 +1,451 @@
+//! The memory-controller node: L2 cache bank + GDDR3 channel behind one
+//! mesh router (paper Figure 5).
+//!
+//! Requests ejected from the network are serviced by the L2 bank (one per
+//! L2 cycle): read hits produce a reply after the bank latency; read
+//! misses allocate an L2 MSHR and queue a DRAM read; writes update the
+//! bank or stream to DRAM (no reply — MC-to-core traffic is read replies
+//! only, as in the paper). Replies wait in a queue for injection into the
+//! reply network; when injection blocks, the MC is *stalled* — the signal
+//! of the paper's Figure 11.
+
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use tenoc_cache::{Access, Cache, CacheConfig, LookupResult, MshrTable};
+use tenoc_dram::{Completion, DramConfig, DramRequest, MemoryController, SchedulingPolicy};
+use tenoc_noc::NodeId;
+
+/// MC node configuration.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct McConfig {
+    /// L2 bank geometry (paper: 128 KB per MC).
+    pub l2: CacheConfig,
+    /// L2 hit latency in L2 cycles.
+    pub l2_latency: u64,
+    /// Incoming request queue capacity.
+    pub in_queue_cap: usize,
+    /// L2 miss-status registers.
+    pub l2_mshrs: usize,
+    /// Reply queue capacity (soft bound; merged fills may briefly exceed
+    /// it).
+    pub reply_queue_cap: usize,
+    /// DRAM channel configuration.
+    pub dram: DramConfig,
+    /// DRAM scheduling policy.
+    pub policy: SchedulingPolicy,
+}
+
+impl McConfig {
+    /// The paper's MC node: 128 KB L2, 8-cycle bank latency, 32-entry
+    /// queues, FR-FCFS GDDR3.
+    pub fn gtx280_like() -> Self {
+        McConfig {
+            l2: CacheConfig::l2_128k(),
+            l2_latency: 8,
+            in_queue_cap: 32,
+            l2_mshrs: 64,
+            reply_queue_cap: 32,
+            dram: DramConfig::gddr3(),
+            policy: SchedulingPolicy::FrFcfs,
+        }
+    }
+}
+
+/// A read reply ready for injection into the reply network.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Reply {
+    /// Destination compute node.
+    pub dst: NodeId,
+    /// Correlation tag (the line address the core is waiting on).
+    pub tag: u64,
+}
+
+/// A request as received from the network.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct McRequest {
+    /// Requesting compute node.
+    pub src: NodeId,
+    /// Line-aligned global address.
+    pub line_addr: u64,
+    /// `true` for writes.
+    pub is_write: bool,
+}
+
+/// MC-side statistics.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct McStats {
+    /// Requests accepted from the network.
+    pub requests: u64,
+    /// Requests refused for a full input queue (back-pressure into the
+    /// request network).
+    pub input_blocked: u64,
+    /// Interconnect cycles in which a ready reply could not be injected.
+    pub inject_stall_cycles: u64,
+    /// Interconnect cycles observed.
+    pub icnt_cycles: u64,
+}
+
+/// One memory-controller node.
+pub struct McNode {
+    cfg: McConfig,
+    l2: Cache,
+    mshrs: MshrTable,
+    dram: MemoryController,
+    in_q: VecDeque<McRequest>,
+    /// Hit replies waiting out the bank latency: `(ready_at, reply)`.
+    hit_delay: VecDeque<(u64, Reply)>,
+    reply_q: VecDeque<Reply>,
+    /// Write-backs and write misses waiting for DRAM queue space.
+    pending_writes: VecDeque<u64>,
+    stats: McStats,
+    /// Number of MCs (for address localization).
+    n_mcs: usize,
+    /// Interleave chunk in bytes (paper: 256).
+    chunk: u64,
+}
+
+impl McNode {
+    /// Builds an MC node. `n_mcs` and `chunk` define the global address
+    /// interleaving used to localize addresses onto this channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache or DRAM configuration is invalid.
+    pub fn new(cfg: McConfig, n_mcs: usize, chunk: u64) -> Self {
+        McNode {
+            l2: Cache::new(cfg.l2),
+            mshrs: MshrTable::new(cfg.l2_mshrs, 64),
+            dram: MemoryController::with_policy(cfg.dram, cfg.policy),
+            in_q: VecDeque::new(),
+            hit_delay: VecDeque::new(),
+            reply_q: VecDeque::new(),
+            pending_writes: VecDeque::new(),
+            stats: McStats::default(),
+            n_mcs,
+            chunk,
+            cfg,
+        }
+    }
+
+    /// Squeezes the MC-interleaving bits out of a global address so this
+    /// channel's DRAM sees a dense local address space.
+    fn localize(&self, addr: u64) -> u64 {
+        let span = self.chunk * self.n_mcs as u64;
+        (addr / span) * self.chunk + (addr % self.chunk)
+    }
+
+    /// `true` if the input queue can take another request.
+    pub fn can_accept(&self) -> bool {
+        self.in_q.len() < self.cfg.in_queue_cap
+    }
+
+    /// Accepts a request from the network.
+    ///
+    /// # Errors
+    ///
+    /// Returns the request back if the input queue is full.
+    pub fn enqueue(&mut self, req: McRequest) -> Result<(), McRequest> {
+        if !self.can_accept() {
+            self.stats.input_blocked += 1;
+            return Err(req);
+        }
+        self.stats.requests += 1;
+        self.in_q.push_back(req);
+        Ok(())
+    }
+
+    /// Services the L2 bank for one interconnect/L2 cycle. `dram_now` is
+    /// the current DRAM-domain cycle (for request arrival stamps).
+    pub fn step_l2(&mut self, now: u64, dram_now: u64) {
+        self.stats.icnt_cycles += 1;
+        // Mature hit replies.
+        while let Some(&(ready, reply)) = self.hit_delay.front() {
+            if ready > now || self.reply_q.len() >= self.cfg.reply_queue_cap {
+                break;
+            }
+            self.hit_delay.pop_front();
+            self.reply_q.push_back(reply);
+        }
+        // Retry deferred writes.
+        while let Some(&addr) = self.pending_writes.front() {
+            let local = self.localize(addr);
+            if self.dram.push(DramRequest::write(local, addr, dram_now)).is_err() {
+                break;
+            }
+            self.pending_writes.pop_front();
+        }
+        // Service one request.
+        let Some(&req) = self.in_q.front() else { return };
+        if req.is_write {
+            match self.l2.access(req.line_addr, Access::Write) {
+                LookupResult::Hit => {}
+                LookupResult::Miss => {
+                    // Write-through to DRAM, no allocation, no reply.
+                    self.pending_writes.push_back(req.line_addr);
+                }
+            }
+            self.in_q.pop_front();
+            return;
+        }
+        // Read.
+        if self.mshrs.contains(req.line_addr) {
+            self.l2.access(req.line_addr, Access::Read); // counts the miss
+            self.mshrs.allocate(req.line_addr, req.src as u64);
+            self.in_q.pop_front();
+            return;
+        }
+        // Peek without committing: require resources before popping.
+        if self.reply_q.len() >= self.cfg.reply_queue_cap {
+            return; // back-pressure: hold the request
+        }
+        match self.l2.access(req.line_addr, Access::Read) {
+            LookupResult::Hit => {
+                self.hit_delay
+                    .push_back((now + self.cfg.l2_latency, Reply { dst: req.src, tag: req.line_addr }));
+                self.in_q.pop_front();
+            }
+            LookupResult::Miss => {
+                if self.mshrs.is_full() || !self.dram.can_accept() {
+                    return; // retry next cycle
+                }
+                self.mshrs.allocate(req.line_addr, req.src as u64);
+                let local = self.localize(req.line_addr);
+                self.dram
+                    .push(DramRequest::read(local, req.line_addr, dram_now))
+                    .expect("capacity checked");
+                self.in_q.pop_front();
+            }
+        }
+    }
+
+    /// Advances the DRAM channel one DRAM cycle and folds completions back
+    /// into the L2 / reply path.
+    pub fn step_dram(&mut self, dram_now: u64) {
+        self.dram.step(dram_now);
+        while self.reply_q.len() < self.cfg.reply_queue_cap {
+            let Some(Completion { request, .. }) = self.dram.pop_completed(dram_now) else {
+                break;
+            };
+            if request.is_write {
+                continue;
+            }
+            let line_addr = request.tag;
+            for target in self.mshrs.complete(line_addr) {
+                self.reply_q.push_back(Reply { dst: target as NodeId, tag: line_addr });
+            }
+            if let Some(ev) = self.l2.fill(line_addr) {
+                if ev.dirty {
+                    self.pending_writes.push_back(ev.line_addr);
+                }
+            }
+        }
+    }
+
+    /// Next reply awaiting injection, if any.
+    pub fn peek_reply(&self) -> Option<Reply> {
+        self.reply_q.front().copied()
+    }
+
+    /// Removes the front reply (after successful injection).
+    pub fn pop_reply(&mut self) -> Option<Reply> {
+        self.reply_q.pop_front()
+    }
+
+    /// Records one interconnect cycle in which the reply network refused
+    /// an available reply.
+    pub fn note_inject_stall(&mut self) {
+        self.stats.inject_stall_cycles += 1;
+    }
+
+    /// `true` when no work is queued or in flight anywhere in the node.
+    pub fn idle(&self) -> bool {
+        self.in_q.is_empty()
+            && self.hit_delay.is_empty()
+            && self.reply_q.is_empty()
+            && self.pending_writes.is_empty()
+            && self.mshrs.is_empty()
+            && self.dram.pending() == 0
+    }
+
+    /// MC statistics.
+    pub fn stats(&self) -> &McStats {
+        &self.stats
+    }
+
+    /// L2 bank statistics.
+    pub fn l2_stats(&self) -> &tenoc_cache::CacheStats {
+        self.l2.stats()
+    }
+
+    /// DRAM channel statistics.
+    pub fn dram_stats(&self) -> &tenoc_dram::DramStats {
+        self.dram.stats()
+    }
+
+    /// Fraction of observed cycles the reply injection was stalled.
+    pub fn stall_fraction(&self) -> f64 {
+        if self.stats.icnt_cycles == 0 {
+            return 0.0;
+        }
+        self.stats.inject_stall_cycles as f64 / self.stats.icnt_cycles as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node() -> McNode {
+        McNode::new(McConfig::gtx280_like(), 8, 256)
+    }
+
+    /// Runs L2 and DRAM in a 1:2-ish ratio until the node idles.
+    fn run_until_idle(mc: &mut McNode, max: u64) -> Vec<Reply> {
+        let mut replies = Vec::new();
+        let mut dram_now = 0;
+        for now in 0..max {
+            mc.step_l2(now, dram_now);
+            for _ in 0..2 {
+                mc.step_dram(dram_now);
+                dram_now += 1;
+            }
+            while let Some(r) = mc.pop_reply() {
+                replies.push(r);
+            }
+            if mc.idle() {
+                break;
+            }
+        }
+        replies
+    }
+
+    #[test]
+    fn read_miss_goes_to_dram_and_replies() {
+        let mut mc = node();
+        mc.enqueue(McRequest { src: 3, line_addr: 0x4000, is_write: false }).unwrap();
+        let replies = run_until_idle(&mut mc, 10_000);
+        assert_eq!(replies, vec![Reply { dst: 3, tag: 0x4000 }]);
+        assert_eq!(mc.dram_stats().reads_done, 1);
+    }
+
+    #[test]
+    fn second_read_hits_l2() {
+        let mut mc = node();
+        mc.enqueue(McRequest { src: 3, line_addr: 0x4000, is_write: false }).unwrap();
+        run_until_idle(&mut mc, 10_000);
+        mc.enqueue(McRequest { src: 5, line_addr: 0x4000, is_write: false }).unwrap();
+        let replies = run_until_idle(&mut mc, 10_000);
+        assert_eq!(replies, vec![Reply { dst: 5, tag: 0x4000 }]);
+        assert_eq!(mc.dram_stats().reads_done, 1, "L2 hit must not touch DRAM");
+    }
+
+    #[test]
+    fn concurrent_misses_merge_in_l2_mshr() {
+        let mut mc = node();
+        mc.enqueue(McRequest { src: 1, line_addr: 0x8000, is_write: false }).unwrap();
+        mc.enqueue(McRequest { src: 2, line_addr: 0x8000, is_write: false }).unwrap();
+        let replies = run_until_idle(&mut mc, 10_000);
+        assert_eq!(replies.len(), 2);
+        assert_eq!(mc.dram_stats().reads_done, 1, "merged misses fetch once");
+        let dsts: Vec<NodeId> = replies.iter().map(|r| r.dst).collect();
+        assert_eq!(dsts, vec![1, 2]);
+    }
+
+    #[test]
+    fn writes_generate_no_replies() {
+        let mut mc = node();
+        mc.enqueue(McRequest { src: 1, line_addr: 0xc000, is_write: true }).unwrap();
+        let replies = run_until_idle(&mut mc, 10_000);
+        assert!(replies.is_empty());
+        assert_eq!(mc.dram_stats().writes_done, 1);
+    }
+
+    #[test]
+    fn write_after_read_hits_l2_and_stays_dirty() {
+        let mut mc = node();
+        mc.enqueue(McRequest { src: 1, line_addr: 0x4000, is_write: false }).unwrap();
+        run_until_idle(&mut mc, 10_000);
+        mc.enqueue(McRequest { src: 1, line_addr: 0x4000, is_write: true }).unwrap();
+        run_until_idle(&mut mc, 10_000);
+        assert_eq!(mc.dram_stats().writes_done, 0, "write hit absorbed by L2");
+        assert_eq!(mc.l2_stats().write_hits, 1);
+    }
+
+    #[test]
+    fn input_queue_backpressure() {
+        let mut mc = node();
+        for i in 0..32 {
+            mc.enqueue(McRequest { src: 1, line_addr: i * 64, is_write: false }).unwrap();
+        }
+        assert!(!mc.can_accept());
+        let r = McRequest { src: 1, line_addr: 0x9999_0000, is_write: false };
+        assert_eq!(mc.enqueue(r), Err(r));
+        assert_eq!(mc.stats().input_blocked, 1);
+    }
+
+    #[test]
+    fn localize_compresses_interleaved_addresses() {
+        let mc = node();
+        // Global addresses 0, 2048 (same MC, consecutive chunks of its
+        // space: span = 256*8 = 2048).
+        assert_eq!(mc.localize(0), 0);
+        assert_eq!(mc.localize(100), 100);
+        assert_eq!(mc.localize(2048), 256);
+        assert_eq!(mc.localize(2048 + 100), 356);
+    }
+
+    #[test]
+    fn reply_queue_backpressure_holds_requests() {
+        let mut cfg = McConfig::gtx280_like();
+        cfg.reply_queue_cap = 2;
+        let mut mc = McNode::new(cfg, 8, 256);
+        // Prime the L2 so follow-up reads are hits (hits produce replies
+        // without DRAM round trips).
+        for line in [0u64, 64, 128, 192] {
+            mc.enqueue(McRequest { src: 1, line_addr: line, is_write: false }).unwrap();
+        }
+        run_until_idle(&mut mc, 10_000);
+        // Re-request all four lines but never drain replies: the bank must
+        // stop serving once the reply queue fills.
+        for line in [0u64, 64, 128, 192] {
+            mc.enqueue(McRequest { src: 1, line_addr: line, is_write: false }).unwrap();
+        }
+        let mut dram_now = 0;
+        for now in 0..200 {
+            mc.step_l2(now, dram_now);
+            mc.step_dram(dram_now);
+            dram_now += 2;
+        }
+        let mut drained = 0;
+        while mc.pop_reply().is_some() {
+            drained += 1;
+        }
+        assert_eq!(drained, 2, "reply queue capacity bounds ready replies");
+        assert!(!mc.idle(), "remaining requests held behind back-pressure");
+    }
+
+    #[test]
+    fn closed_page_policy_flows_through_config() {
+        use tenoc_dram::PagePolicy;
+        let cfg = McConfig::gtx280_like();
+        // The policy enum is plumbed via SchedulingPolicy; closed-page is
+        // exercised at the DRAM layer (see tenoc-dram tests). Here we just
+        // ensure the MC still completes with FCFS scheduling.
+        let mut fcfs = McConfig { policy: tenoc_dram::SchedulingPolicy::Fcfs, ..cfg };
+        fcfs.l2 = tenoc_cache::CacheConfig::l2_128k();
+        let mut mc = McNode::new(fcfs, 8, 256);
+        mc.enqueue(McRequest { src: 2, line_addr: 0x7000, is_write: false }).unwrap();
+        let replies = run_until_idle(&mut mc, 10_000);
+        assert_eq!(replies.len(), 1);
+        let _ = PagePolicy::Closed;
+    }
+
+    #[test]
+    fn stall_fraction_accounts_noted_stalls() {
+        let mut mc = node();
+        mc.step_l2(0, 0);
+        mc.step_l2(1, 0);
+        mc.note_inject_stall();
+        assert!((mc.stall_fraction() - 0.5).abs() < 1e-9);
+    }
+}

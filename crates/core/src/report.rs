@@ -1,0 +1,186 @@
+//! Structured experiment reports: JSON export/import of sweep results and
+//! markdown table rendering, so external tooling (plotting scripts,
+//! regression dashboards) can consume the harness output without parsing
+//! printed tables.
+
+use crate::experiments::SuiteResult;
+use crate::metrics::RunMetrics;
+use serde::{Deserialize, Serialize};
+use tenoc_simt::TrafficClass;
+
+/// A serializable record of one benchmark's run within a sweep.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BenchmarkRecord {
+    /// Benchmark abbreviation (Table I).
+    pub name: String,
+    /// Traffic class label (`LL`/`LH`/`HH`).
+    pub class: String,
+    /// Collected metrics.
+    pub metrics: RunMetrics,
+}
+
+/// A serializable sweep: one design point over a benchmark list.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SweepReport {
+    /// Design-point label (e.g. `TB-DOR`).
+    pub design: String,
+    /// Kernel length scale used.
+    pub scale: f64,
+    /// Per-benchmark results.
+    pub benchmarks: Vec<BenchmarkRecord>,
+}
+
+impl SweepReport {
+    /// Builds a report from suite results.
+    pub fn new(design: &str, scale: f64, results: &[SuiteResult]) -> Self {
+        SweepReport {
+            design: design.to_owned(),
+            scale,
+            benchmarks: results
+                .iter()
+                .map(|r| BenchmarkRecord {
+                    name: r.name.clone(),
+                    class: r.class.to_string(),
+                    metrics: r.metrics,
+                })
+                .collect(),
+        }
+    }
+
+    /// Serializes to pretty JSON.
+    ///
+    /// # Panics
+    ///
+    /// Never panics for reports built by [`SweepReport::new`] (all fields
+    /// are plain data).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report is plain data")
+    }
+
+    /// Parses a report back from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying `serde_json` error on malformed input.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+
+    /// Harmonic-mean IPC over all benchmarks.
+    pub fn hm_ipc(&self) -> f64 {
+        crate::metrics::harmonic_mean(self.benchmarks.iter().map(|b| b.metrics.ipc))
+    }
+
+    /// Renders a GitHub-flavored markdown table of the key metrics.
+    pub fn to_markdown(&self) -> String {
+        let mut out = format!(
+            "### {} (scale {})\n\n| bench | class | IPC | net lat | MC stall | DRAM eff |\n|---|---|---|---|---|---|\n",
+            self.design, self.scale
+        );
+        for b in &self.benchmarks {
+            out.push_str(&format!(
+                "| {} | {} | {:.1} | {:.1} | {:.0}% | {:.0}% |\n",
+                b.name,
+                b.class,
+                b.metrics.ipc,
+                b.metrics.avg_net_latency,
+                b.metrics.mc_stall_fraction * 100.0,
+                b.metrics.dram_efficiency * 100.0
+            ));
+        }
+        out
+    }
+
+    /// Writes the JSON report under `$TENOC_REPORT_DIR` (if set), named
+    /// `<design>.json`. Returns the path written, or `None` when the
+    /// variable is unset.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from writing the file.
+    pub fn write_to_env_dir(&self) -> std::io::Result<Option<std::path::PathBuf>> {
+        let Ok(dir) = std::env::var("TENOC_REPORT_DIR") else {
+            return Ok(None);
+        };
+        let mut path = std::path::PathBuf::from(dir);
+        std::fs::create_dir_all(&path)?;
+        let safe: String = self
+            .design
+            .chars()
+            .map(|c| if c.is_alphanumeric() { c } else { '_' })
+            .collect();
+        path.push(format!("{safe}.json"));
+        std::fs::write(&path, self.to_json())?;
+        Ok(Some(path))
+    }
+}
+
+/// `TrafficClass` to canonical label (helper for external consumers).
+pub fn class_label(class: TrafficClass) -> &'static str {
+    match class {
+        TrafficClass::LL => "LL",
+        TrafficClass::LH => "LH",
+        TrafficClass::HH => "HH",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::{run_list, SuiteResult};
+    use crate::presets::Preset;
+    use tenoc_workloads::by_name;
+
+    fn sample() -> Vec<SuiteResult> {
+        run_list(Preset::BaselineTbDor, &[by_name("HIS").unwrap()], 0.03)
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_results() {
+        let report = SweepReport::new("TB-DOR", 0.03, &sample());
+        let json = report.to_json();
+        let back = SweepReport::from_json(&json).unwrap();
+        assert_eq!(back.design, report.design);
+        assert_eq!(back.benchmarks.len(), report.benchmarks.len());
+        let (a, b) = (&report.benchmarks[0].metrics, &back.benchmarks[0].metrics);
+        // Integers round-trip exactly; floats to printing precision.
+        assert_eq!(a.core_cycles, b.core_cycles);
+        assert_eq!(a.scalar_insts, b.scalar_insts);
+        assert_eq!(a.flit_hops, b.flit_hops);
+        assert!((a.ipc - b.ipc).abs() < 1e-9);
+        assert!((a.avg_net_latency - b.avg_net_latency).abs() < 1e-9);
+    }
+
+    #[test]
+    fn markdown_contains_all_benchmarks() {
+        let report = SweepReport::new("TB-DOR", 0.03, &sample());
+        let md = report.to_markdown();
+        assert!(md.contains("| HIS | LL |"));
+        assert!(md.starts_with("### TB-DOR"));
+    }
+
+    #[test]
+    fn malformed_json_is_an_error() {
+        assert!(SweepReport::from_json("{not json").is_err());
+    }
+
+    #[test]
+    fn hm_ipc_of_single_benchmark_is_its_ipc() {
+        let results = sample();
+        let report = SweepReport::new("x", 0.03, &results);
+        assert!((report.hm_ipc() - results[0].metrics.ipc).abs() < 1e-9);
+    }
+
+    #[test]
+    fn env_dir_unset_writes_nothing() {
+        std::env::remove_var("TENOC_REPORT_DIR");
+        let report = SweepReport::new("x", 0.03, &sample());
+        assert_eq!(report.write_to_env_dir().unwrap(), None);
+    }
+
+    #[test]
+    fn class_labels() {
+        assert_eq!(class_label(TrafficClass::LL), "LL");
+        assert_eq!(class_label(TrafficClass::HH), "HH");
+    }
+}

@@ -1,0 +1,533 @@
+//! The closed-loop accelerator system: compute cores, interconnect, L2
+//! banks and DRAM channels stepped in their own clock domains.
+
+use crate::clock::{ClockConfig, Clocks, Domain};
+use crate::mc::{McConfig, McNode, McRequest};
+use crate::metrics::RunMetrics;
+use tenoc_noc::{
+    BandwidthLimitedInterconnect, DoubleNetwork, Interconnect, Network, NetworkConfig, NodeId,
+    Packet, PerfectInterconnect,
+};
+use tenoc_simt::{CoreConfig, KernelSpec, MemRequest, ShaderCore};
+
+/// Tag bit marking write requests inside a network packet.
+const WRITE_BIT: u64 = 1 << 63;
+/// Tag bits 48..63 carry the requesting core's index (for concentrated
+/// configurations where several cores share one network terminal).
+const CORE_SHIFT: u32 = 48;
+const ADDR_MASK: u64 = (1 << CORE_SHIFT) - 1;
+
+/// Which interconnect implementation the system uses.
+///
+/// All variants carry a full [`NetworkConfig`]: even the ideal models need
+/// the node geometry and MC placement.
+#[derive(Clone, Debug)]
+pub enum IcntConfig {
+    /// A single physical mesh.
+    Mesh(NetworkConfig),
+    /// Two channel-sliced meshes (requests / replies); the carried config
+    /// describes the *single-network equivalent* and is sliced via
+    /// [`DoubleNetwork::from_single`].
+    Double(NetworkConfig),
+    /// Zero-latency, infinite-bandwidth network (limit studies).
+    Perfect(NetworkConfig),
+    /// Zero-latency network with an aggregate cap in flits/interconnect
+    /// cycle (Figure 6 limit study).
+    BwLimited(NetworkConfig, f64),
+}
+
+impl IcntConfig {
+    /// The geometry-bearing network configuration.
+    pub fn net(&self) -> &NetworkConfig {
+        match self {
+            IcntConfig::Mesh(c)
+            | IcntConfig::Double(c)
+            | IcntConfig::Perfect(c)
+            | IcntConfig::BwLimited(c, _) => c,
+        }
+    }
+
+    fn build(&self) -> Box<dyn Interconnect> {
+        match self {
+            IcntConfig::Mesh(c) => Box::new(Network::new(c.clone())),
+            IcntConfig::Double(c) => Box::new(DoubleNetwork::from_single(c)),
+            IcntConfig::Perfect(c) => {
+                Box::new(PerfectInterconnect::new(c.mesh.len(), c.channel_bytes))
+            }
+            IcntConfig::BwLimited(c, flits) => {
+                Box::new(BandwidthLimitedInterconnect::new(c.mesh.len(), c.channel_bytes, *flits))
+            }
+        }
+    }
+}
+
+/// Full system configuration.
+#[derive(Clone, Debug)]
+pub struct SystemConfig {
+    /// Interconnect selection.
+    pub icnt: IcntConfig,
+    /// Compute-core microarchitecture.
+    pub core: CoreConfig,
+    /// MC node (L2 + DRAM) configuration.
+    pub mc: McConfig,
+    /// Clock frequencies.
+    pub clocks: ClockConfig,
+    /// Address-interleave chunk across MCs in bytes (paper: 256).
+    pub chunk: u64,
+    /// Compute cores sharing each compute-node router (concentration).
+    /// The paper's configuration is 1; GPUs historically concentrated
+    /// several cores per network port, and future designs scale core
+    /// counts faster than mesh radix.
+    pub cores_per_node: usize,
+    /// Workload seed.
+    pub seed: u64,
+    /// Safety limit on core cycles.
+    pub max_core_cycles: u64,
+}
+
+impl SystemConfig {
+    /// A system around the given interconnect with all other parameters at
+    /// their Table II values.
+    pub fn with_icnt(icnt: IcntConfig) -> Self {
+        SystemConfig {
+            icnt,
+            core: CoreConfig::gtx280_like(),
+            mc: McConfig::gtx280_like(),
+            clocks: ClockConfig::gtx280(),
+            chunk: 256,
+            cores_per_node: 1,
+            seed: 0x7e0c,
+            max_core_cycles: 50_000_000,
+        }
+    }
+}
+
+/// The closed-loop simulator.
+pub struct System {
+    cfg: SystemConfig,
+    icnt: Box<dyn Interconnect>,
+    cores: Vec<ShaderCore>,
+    core_nodes: Vec<NodeId>,
+    mc_nodes: Vec<NodeId>,
+    mcs: Vec<McNode>,
+    clocks: Clocks,
+    /// One staged outgoing packet per core (requests refused by the NI
+    /// wait here rather than being lost).
+    staged: Vec<Option<Packet>>,
+    /// Requests ejected at an MC but refused by its input queue.
+    staged_mc: Vec<Option<McRequest>>,
+}
+
+impl System {
+    /// Builds a system running `spec` on every compute core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network configuration is invalid or the kernel spec
+    /// is out of range.
+    pub fn new(cfg: SystemConfig, spec: &KernelSpec) -> Self {
+        Self::new_mixed(cfg, std::slice::from_ref(spec))
+    }
+
+    /// Builds a system running a *mix* of kernels: core `i` runs
+    /// `specs[i % specs.len()]`. Models multi-tenant accelerators or
+    /// concurrent kernel execution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `specs` is empty, the network configuration is invalid or
+    /// any kernel spec is out of range.
+    pub fn new_mixed(cfg: SystemConfig, specs: &[KernelSpec]) -> Self {
+        assert!(!specs.is_empty(), "at least one kernel spec required");
+        assert!(cfg.cores_per_node >= 1, "concentration must be at least 1");
+        let net = cfg.icnt.net().clone();
+        let mc_nodes = net.mc_nodes.clone();
+        let node_list: Vec<NodeId> =
+            (0..net.mesh.len()).filter(|n| !mc_nodes.contains(n)).collect();
+        // With concentration c, node_list entry i hosts cores
+        // i*c .. (i+1)*c; `core_nodes[j]` is core j's terminal.
+        let core_nodes: Vec<NodeId> = node_list
+            .iter()
+            .flat_map(|&n| std::iter::repeat_n(n, cfg.cores_per_node))
+            .collect();
+        let cores = core_nodes
+            .iter()
+            .enumerate()
+            .map(|(i, _)| ShaderCore::new(i, cfg.core.clone(), &specs[i % specs.len()], cfg.seed))
+            .collect();
+        let mcs = mc_nodes
+            .iter()
+            .map(|_| McNode::new(cfg.mc.clone(), mc_nodes.len(), cfg.chunk))
+            .collect();
+        System {
+            icnt: cfg.icnt.build(),
+            staged: vec![None; core_nodes.len()],
+            staged_mc: vec![None; mc_nodes.len()],
+            cores,
+            core_nodes,
+            mc_nodes,
+            mcs,
+            clocks: Clocks::new(cfg.clocks),
+            cfg,
+        }
+    }
+
+    /// Number of compute cores.
+    pub fn num_cores(&self) -> usize {
+        self.cores.len()
+    }
+
+    fn mc_index_of(&self, addr: u64) -> usize {
+        ((addr / self.cfg.chunk) % self.mc_nodes.len() as u64) as usize
+    }
+
+    fn all_done(&self) -> bool {
+        self.cores.iter().all(|c| c.done() && c.pending_requests() == 0 && c.outstanding_fetches() == 0)
+            && self.staged.iter().all(Option::is_none)
+            && self.staged_mc.iter().all(Option::is_none)
+            && self.icnt.in_flight() == 0
+            && self.mcs.iter().all(McNode::idle)
+    }
+
+    fn step_core_domain(&mut self) {
+        let now = self.clocks.cycles(Domain::Core) - 1;
+        for core in &mut self.cores {
+            core.step(now);
+        }
+    }
+
+    fn step_icnt_domain(&mut self) {
+        let now = self.clocks.cycles(Domain::Icnt) - 1;
+        let dram_now = self.clocks.cycles(Domain::Dram);
+        // Replies to cores. With concentration > 1 several cores share a
+        // terminal, so the destination core is read from the tag.
+        let mut seen_nodes = std::collections::HashSet::new();
+        for &node in self.core_nodes.iter() {
+            if !seen_nodes.insert(node) {
+                continue;
+            }
+            while let Some(p) = self.icnt.pop(node) {
+                debug_assert_eq!(p.header.tag & WRITE_BIT, 0, "cores only receive read replies");
+                let core = ((p.header.tag >> CORE_SHIFT) & 0x7fff) as usize;
+                self.cores[core].push_fill(p.header.tag & ADDR_MASK);
+            }
+        }
+        // Core requests into the network.
+        for (i, &node) in self.core_nodes.iter().enumerate() {
+            loop {
+                if self.staged[i].is_none() {
+                    let Some(MemRequest { line_addr, is_write, size_bytes }) =
+                        self.cores[i].pop_request()
+                    else {
+                        break;
+                    };
+                    let mc = self.mc_nodes[self.mc_index_of(line_addr)];
+                    debug_assert_eq!(line_addr >> CORE_SHIFT, 0, "address fits below the core-id bits");
+                    let mut tag = line_addr | ((i as u64) << CORE_SHIFT);
+                    if is_write {
+                        tag |= WRITE_BIT;
+                    }
+                    self.staged[i] = Some(Packet::request(node, mc, size_bytes, tag));
+                }
+                let pkt = self.staged[i].take().expect("staged above");
+                match self.icnt.try_inject(node, pkt) {
+                    Ok(()) => {}
+                    Err(back) => {
+                        self.staged[i] = Some(back);
+                        break;
+                    }
+                }
+            }
+        }
+        // MC side: eject requests, service L2, inject replies.
+        for (m, &node) in self.mc_nodes.iter().enumerate() {
+            // Retry a previously refused request first.
+            if let Some(req) = self.staged_mc[m].take() {
+                if let Err(back) = self.mcs[m].enqueue(req) {
+                    self.staged_mc[m] = Some(back);
+                }
+            }
+            while self.staged_mc[m].is_none() {
+                let Some(p) = self.icnt.pop(node) else { break };
+                let req = McRequest {
+                    src: p.header.src,
+                    line_addr: p.header.tag & !WRITE_BIT,
+                    is_write: p.header.tag & WRITE_BIT != 0,
+                };
+                if let Err(back) = self.mcs[m].enqueue(req) {
+                    self.staged_mc[m] = Some(back);
+                }
+            }
+            self.mcs[m].step_l2(now, dram_now);
+            let mut stalled = false;
+            while let Some(reply) = self.mcs[m].peek_reply() {
+                // reply.tag carries line address + core-id bits intact.
+                let pkt = Packet::reply(node, reply.dst, 64, reply.tag);
+                match self.icnt.try_inject(node, pkt) {
+                    Ok(()) => {
+                        self.mcs[m].pop_reply();
+                    }
+                    Err(_) => {
+                        stalled = true;
+                        break;
+                    }
+                }
+            }
+            if stalled {
+                self.mcs[m].note_inject_stall();
+            }
+        }
+        self.icnt.step();
+    }
+
+    fn step_dram_domain(&mut self) {
+        let now = self.clocks.cycles(Domain::Dram) - 1;
+        for mc in &mut self.mcs {
+            mc.step_dram(now);
+        }
+    }
+
+    /// Runs the system until the kernel completes and all queues drain.
+    ///
+    /// Returns the collected metrics; `completed` is `false` if the safety
+    /// cycle limit was hit first (indicating deadlock or an impossibly
+    /// long configuration).
+    pub fn run(&mut self) -> RunMetrics {
+        let mut check = 0u32;
+        loop {
+            match self.clocks.tick() {
+                Domain::Core => {
+                    self.step_core_domain();
+                    check += 1;
+                    if check >= 512 {
+                        check = 0;
+                        if self.all_done() {
+                            return self.metrics(true);
+                        }
+                        if self.clocks.cycles(Domain::Core) > self.cfg.max_core_cycles {
+                            return self.metrics(false);
+                        }
+                    }
+                }
+                Domain::Icnt => self.step_icnt_domain(),
+                Domain::Dram => self.step_dram_domain(),
+            }
+        }
+    }
+
+    /// Total read/write requests the cores emitted (debug aid).
+    pub fn debug_core_requests(&self) -> (u64, u64) {
+        let r = self.cores.iter().map(|c| c.stats().read_requests).sum();
+        let w = self.cores.iter().map(|c| c.stats().write_requests).sum();
+        (r, w)
+    }
+
+    /// Prints per-MC DRAM diagnostics (debug aid for experiments).
+    pub fn debug_dram(&self) {
+        for (i, mc) in self.mcs.iter().enumerate() {
+            let d = mc.dram_stats();
+            println!(
+                "  mc{i}: acc={} eff={:.3} rowhit={:.3} act={} pre={} busy={} cyc={} lat={:.1} l2h={:.3} in_blocked={}",
+                d.accepted,
+                d.efficiency(),
+                d.row_hit_rate(),
+                d.activates,
+                d.precharges,
+                d.busy_cycles,
+                d.cycles,
+                d.avg_latency(),
+                mc.l2_stats().hit_rate(),
+                mc.stats().input_blocked,
+            );
+        }
+    }
+
+    /// Collects metrics at the current instant.
+    pub fn metrics(&self, completed: bool) -> RunMetrics {
+        let core_cycles = self.clocks.cycles(Domain::Core).max(1);
+        let icnt_cycles = self.clocks.cycles(Domain::Icnt).max(1);
+        let scalar: u64 = self.cores.iter().map(|c| c.retired_scalar_insts()).sum();
+        let net = self.icnt.stats();
+        let mc_inject_flits: u64 =
+            self.mc_nodes.iter().map(|&n| net.injected_flits_by_node[n]).sum();
+        let core_inject_flits: u64 =
+            self.core_nodes.iter().map(|&n| net.injected_flits_by_node[n]).sum();
+        let stall = self.mcs.iter().map(|m| m.stall_fraction()).sum::<f64>()
+            / self.mcs.len().max(1) as f64;
+        let dram_eff = self.mcs.iter().map(|m| m.dram_stats().efficiency()).sum::<f64>()
+            / self.mcs.len().max(1) as f64;
+        let l2_hits: u64 = self.mcs.iter().map(|m| m.l2_stats().read_hits).sum();
+        let l2_misses: u64 = self.mcs.iter().map(|m| m.l2_stats().read_misses).sum();
+        let replays: u64 = self.cores.iter().map(|c| c.stats().replays).sum();
+        RunMetrics {
+            completed,
+            core_cycles,
+            icnt_cycles,
+            scalar_insts: scalar,
+            ipc: scalar as f64 / core_cycles as f64,
+            avg_net_latency: net.avg_network_latency(),
+            mc_injection_rate: mc_inject_flits as f64
+                / icnt_cycles as f64
+                / self.mc_nodes.len().max(1) as f64,
+            core_injection_rate: core_inject_flits as f64
+                / icnt_cycles as f64
+                / self.core_nodes.len().max(1) as f64,
+            mc_stall_fraction: stall,
+            dram_efficiency: dram_eff,
+            l2_read_hit_rate: if l2_hits + l2_misses == 0 {
+                0.0
+            } else {
+                l2_hits as f64 / (l2_hits + l2_misses) as f64
+            },
+            accepted_flits_per_node: net.accepted_flits_per_node_cycle(),
+            core_replays: replays,
+            flit_hops: self.icnt.flit_hops(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tenoc_simt::KernelSpec;
+
+    fn tiny_spec(mem: f64) -> KernelSpec {
+        KernelSpec::builder("tiny")
+            .warps_per_core(4)
+            .insts_per_warp(60)
+            .mem_fraction(mem)
+            .stream_fraction(0.5)
+            .build()
+    }
+
+    #[test]
+    fn compute_only_kernel_completes_on_mesh() {
+        let cfg = SystemConfig::with_icnt(IcntConfig::Mesh(NetworkConfig::baseline_mesh(6)));
+        let mut sys = System::new(cfg, &tiny_spec(0.0));
+        let m = sys.run();
+        assert!(m.completed);
+        assert_eq!(m.scalar_insts, 28 * 4 * 60 * 32);
+        assert!(m.ipc > 0.0);
+    }
+
+    #[test]
+    fn memory_kernel_completes_on_mesh() {
+        let cfg = SystemConfig::with_icnt(IcntConfig::Mesh(NetworkConfig::baseline_mesh(6)));
+        let mut sys = System::new(cfg, &tiny_spec(0.3));
+        let m = sys.run();
+        assert!(m.completed, "closed loop must drain: {m:?}");
+        assert!(m.mc_injection_rate > 0.0, "replies flowed through MC routers");
+        assert!(m.dram_efficiency > 0.0);
+    }
+
+    #[test]
+    fn memory_kernel_completes_on_checkerboard() {
+        let cfg = SystemConfig::with_icnt(IcntConfig::Mesh(NetworkConfig::checkerboard_mesh(6)));
+        let mut sys = System::new(cfg, &tiny_spec(0.3));
+        let m = sys.run();
+        assert!(m.completed);
+    }
+
+    #[test]
+    fn memory_kernel_completes_on_double_network() {
+        let mut net = NetworkConfig::checkerboard_mesh(6);
+        net.mc_inject_ports = 2;
+        let cfg = SystemConfig::with_icnt(IcntConfig::Double(net));
+        let mut sys = System::new(cfg, &tiny_spec(0.3));
+        let m = sys.run();
+        assert!(m.completed);
+    }
+
+    #[test]
+    fn perfect_network_is_at_least_as_fast() {
+        let spec = KernelSpec::builder("mem")
+            .warps_per_core(8)
+            .insts_per_warp(80)
+            .mem_fraction(0.5)
+            .stream_fraction(0.9)
+            .lines_per_mem(2)
+            .build();
+        let mesh = {
+            let cfg = SystemConfig::with_icnt(IcntConfig::Mesh(NetworkConfig::baseline_mesh(6)));
+            System::new(cfg, &spec).run()
+        };
+        let perfect = {
+            let cfg = SystemConfig::with_icnt(IcntConfig::Perfect(NetworkConfig::baseline_mesh(6)));
+            System::new(cfg, &spec).run()
+        };
+        assert!(mesh.completed && perfect.completed);
+        assert!(
+            perfect.ipc >= mesh.ipc,
+            "perfect {} must beat mesh {}",
+            perfect.ipc,
+            mesh.ipc
+        );
+    }
+
+    #[test]
+    fn mixed_kernels_run_to_completion() {
+        let light = tiny_spec(0.0);
+        let heavy = KernelSpec::builder("heavy")
+            .warps_per_core(8)
+            .insts_per_warp(40)
+            .mem_fraction(0.4)
+            .stream_fraction(0.9)
+            .build();
+        let cfg = SystemConfig::with_icnt(IcntConfig::Mesh(NetworkConfig::baseline_mesh(6)));
+        let mut sys = System::new_mixed(cfg, &[light.clone(), heavy.clone()]);
+        let m = sys.run();
+        assert!(m.completed);
+        // 14 cores run each spec.
+        let expect = 14 * (light.total_warp_insts() + heavy.total_warp_insts()) * 32;
+        assert_eq!(m.scalar_insts, expect);
+    }
+
+    #[test]
+    fn concentration_doubles_core_count_and_completes() {
+        let mut cfg = SystemConfig::with_icnt(IcntConfig::Mesh(NetworkConfig::baseline_mesh(6)));
+        cfg.cores_per_node = 2;
+        let spec = tiny_spec(0.2);
+        let mut sys = System::new(cfg, &spec);
+        assert_eq!(sys.num_cores(), 56);
+        let m = sys.run();
+        assert!(m.completed);
+        assert_eq!(m.scalar_insts, 56 * spec.total_warp_insts() * 32);
+    }
+
+    #[test]
+    fn concentration_increases_pressure_on_the_network() {
+        let spec = KernelSpec::builder("mem")
+            .warps_per_core(8)
+            .insts_per_warp(60)
+            .mem_fraction(0.3)
+            .stream_fraction(0.9)
+            .build();
+        let base = {
+            let cfg = SystemConfig::with_icnt(IcntConfig::Mesh(NetworkConfig::baseline_mesh(6)));
+            System::new(cfg, &spec).run()
+        };
+        let conc = {
+            let mut cfg = SystemConfig::with_icnt(IcntConfig::Mesh(NetworkConfig::baseline_mesh(6)));
+            cfg.cores_per_node = 2;
+            System::new(cfg, &spec).run()
+        };
+        assert!(conc.completed);
+        // Twice the demand on the same network: per-core throughput drops.
+        let per_core_base = base.ipc / 28.0;
+        let per_core_conc = conc.ipc / 56.0;
+        assert!(
+            per_core_conc < per_core_base,
+            "concentration must increase contention: {per_core_conc} vs {per_core_base}"
+        );
+        assert!(conc.mc_stall_fraction >= base.mc_stall_fraction * 0.9);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let cfg = SystemConfig::with_icnt(IcntConfig::Mesh(NetworkConfig::baseline_mesh(6)));
+        let a = System::new(cfg.clone(), &tiny_spec(0.25)).run();
+        let b = System::new(cfg, &tiny_spec(0.25)).run();
+        assert_eq!(a.core_cycles, b.core_cycles);
+        assert_eq!(a.scalar_insts, b.scalar_insts);
+    }
+}

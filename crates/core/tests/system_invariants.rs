@@ -1,0 +1,79 @@
+//! Property-style integration tests of the closed-loop system: every
+//! preset must run arbitrary (small) kernels to completion with conserved
+//! instruction counts, and key metrics must stay within physical bounds.
+
+use proptest::prelude::*;
+use tenoc_core::experiments::run_with_system_config;
+use tenoc_core::presets::Preset;
+use tenoc_core::system::SystemConfig;
+use tenoc_simt::{KernelSpec, TrafficClass};
+
+fn small_spec() -> impl Strategy<Value = KernelSpec> {
+    (
+        1usize..=8,
+        16u64..60,
+        0.0f64..0.5,
+        0.0f64..0.4,
+        0.0f64..1.0,
+        prop::sample::select(vec![1u32, 2, 4]),
+    )
+        .prop_map(|(warps, insts, mem, wr, stream, lines)| {
+            KernelSpec::builder("sys-prop")
+                .class(TrafficClass::LH)
+                .warps_per_core(warps)
+                .insts_per_warp(insts)
+                .mem_fraction(mem)
+                .write_fraction(wr)
+                .stream_fraction(stream)
+                .lines_per_mem(lines)
+                .build()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Every major preset completes and conserves instructions.
+    #[test]
+    fn presets_complete_and_conserve(spec in small_spec(), seed in 1u64..500) {
+        for preset in [
+            Preset::BaselineTbDor,
+            Preset::CpCr4vc,
+            Preset::DoubleCpCr2InjPorts,
+            Preset::Perfect,
+        ] {
+            let mut cfg = SystemConfig::with_icnt(preset.icnt(6));
+            cfg.seed = seed;
+            let m = run_with_system_config(cfg, &spec, 1.0);
+            prop_assert!(m.completed, "{:?}", preset.label());
+            prop_assert_eq!(m.scalar_insts, 28 * spec.total_warp_insts() * 32);
+            // Physical bounds.
+            prop_assert!(m.ipc > 0.0 && m.ipc <= 224.0 + 1e-9, "ipc {}", m.ipc);
+            prop_assert!((0.0..=1.0).contains(&m.mc_stall_fraction));
+            prop_assert!((0.0..=1.0).contains(&m.dram_efficiency));
+            prop_assert!((0.0..=1.0).contains(&m.l2_read_hit_rate));
+            prop_assert!(m.avg_net_latency >= 0.0);
+        }
+    }
+
+    /// The perfect network is never slower than the baseline mesh beyond
+    /// DRAM-scheduling noise.
+    #[test]
+    fn perfect_dominates_baseline(spec in small_spec(), seed in 1u64..500) {
+        let mut base_cfg = SystemConfig::with_icnt(Preset::BaselineTbDor.icnt(6));
+        base_cfg.seed = seed;
+        let base = run_with_system_config(base_cfg, &spec, 1.0);
+        let mut perf_cfg = SystemConfig::with_icnt(Preset::Perfect.icnt(6));
+        perf_cfg.seed = seed;
+        let perfect = run_with_system_config(perf_cfg, &spec, 1.0);
+        // On very short kernels the perfect network reorders DRAM
+        // arrivals, which can cost a few percent of row locality — allow
+        // that scheduling noise.
+        prop_assert!(
+            perfect.ipc >= base.ipc * 0.85,
+            "perfect {} vs baseline {}",
+            perfect.ipc,
+            base.ipc
+        );
+    }
+}

@@ -1,0 +1,110 @@
+//! Property-based tests of the DRAM channel: completeness, bus
+//! serialization and timing-constraint compliance (the bank model panics
+//! on any violated constraint, so simply driving random traffic through
+//! the controller exercises the timing rules).
+
+use proptest::prelude::*;
+use tenoc_dram::{Completion, DramConfig, DramRequest, MemoryController, SchedulingPolicy};
+
+fn drive(mc: &mut MemoryController, reqs: &[DramRequest], max_cycles: u64) -> Vec<Completion> {
+    let mut out = Vec::new();
+    let mut next = 0usize;
+    for now in 0..max_cycles {
+        while next < reqs.len() {
+            let mut r = reqs[next];
+            r.arrival = now;
+            if mc.push(r).is_err() {
+                break;
+            }
+            next += 1;
+        }
+        mc.step(now);
+        while let Some(c) = mc.pop_completed(now) {
+            out.push(c);
+        }
+        if next == reqs.len() && mc.pending() == 0 {
+            break;
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+    /// Every request completes exactly once under both policies, and the
+    /// shared data bus never overlaps transfers.
+    #[test]
+    fn all_requests_complete_without_bus_overlap(
+        addrs in prop::collection::vec((0u64..1_000, any::<bool>()), 1..80),
+        frfcfs in any::<bool>(),
+    ) {
+        let cfg = DramConfig::gddr3();
+        let policy = if frfcfs { SchedulingPolicy::FrFcfs } else { SchedulingPolicy::Fcfs };
+        let mut mc = MemoryController::with_policy(cfg, policy);
+        let reqs: Vec<DramRequest> = addrs
+            .iter()
+            .enumerate()
+            .map(|(i, &(a, w))| {
+                let addr = a * 64;
+                if w { DramRequest::write(addr, i as u64, 0) } else { DramRequest::read(addr, i as u64, 0) }
+            })
+            .collect();
+        let done = drive(&mut mc, &reqs, 200_000);
+        prop_assert_eq!(done.len(), reqs.len(), "all requests must complete");
+        // Exactly-once completion.
+        let mut tags: Vec<u64> = done.iter().map(|c| c.request.tag).collect();
+        tags.sort_unstable();
+        let expected: Vec<u64> = (0..reqs.len() as u64).collect();
+        prop_assert_eq!(tags, expected);
+        // Bus serialization: completion times spaced by at least one burst.
+        let mut times: Vec<u64> = done.iter().map(|c| c.done).collect();
+        times.sort_unstable();
+        for w in times.windows(2) {
+            prop_assert!(w[1] - w[0] >= cfg.burst_cycles(), "bus overlap: {w:?}");
+        }
+    }
+
+    /// FCFS preserves arrival order of completions.
+    #[test]
+    fn fcfs_completes_in_order(addrs in prop::collection::vec(0u64..200, 1..40)) {
+        let mut mc = MemoryController::with_policy(DramConfig::gddr3(), SchedulingPolicy::Fcfs);
+        let reqs: Vec<DramRequest> =
+            addrs.iter().enumerate().map(|(i, &a)| DramRequest::read(a * 64, i as u64, 0)).collect();
+        let done = drive(&mut mc, &reqs, 200_000);
+        let tags: Vec<u64> = done.iter().map(|c| c.request.tag).collect();
+        let sorted = {
+            let mut t = tags.clone();
+            t.sort_unstable();
+            t
+        };
+        prop_assert_eq!(tags, sorted);
+    }
+
+    /// FR-FCFS throughput is never worse than strict FCFS.
+    #[test]
+    fn frfcfs_not_slower_than_fcfs(addrs in prop::collection::vec(0u64..500, 4..60)) {
+        let cfg = DramConfig::gddr3();
+        let reqs: Vec<DramRequest> =
+            addrs.iter().enumerate().map(|(i, &a)| DramRequest::read(a * 64, i as u64, 0)).collect();
+        let mut frf = MemoryController::with_policy(cfg, SchedulingPolicy::FrFcfs);
+        let mut fcfs = MemoryController::with_policy(cfg, SchedulingPolicy::Fcfs);
+        let d1 = drive(&mut frf, &reqs, 400_000);
+        let d2 = drive(&mut fcfs, &reqs, 400_000);
+        let t1 = d1.iter().map(|c| c.done).max().unwrap();
+        let t2 = d2.iter().map(|c| c.done).max().unwrap();
+        prop_assert!(t1 <= t2 + 4, "FR-FCFS ({t1}) must not lose to FCFS ({t2})");
+    }
+
+    /// Efficiency and row-hit statistics stay within [0, 1].
+    #[test]
+    fn stats_are_fractions(addrs in prop::collection::vec(0u64..100, 1..50)) {
+        let mut mc = MemoryController::new(DramConfig::gddr3());
+        let reqs: Vec<DramRequest> =
+            addrs.iter().enumerate().map(|(i, &a)| DramRequest::read(a * 64, i as u64, 0)).collect();
+        drive(&mut mc, &reqs, 200_000);
+        let s = mc.stats();
+        prop_assert!((0.0..=1.0).contains(&s.efficiency()));
+        prop_assert!((0.0..=1.0).contains(&s.row_hit_rate()));
+        prop_assert!(s.avg_latency() >= 0.0);
+    }
+}

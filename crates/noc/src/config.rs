@@ -1,0 +1,405 @@
+//! Network configuration: channel widths, virtual-channel layout, router
+//! pipeline timing and routing selection.
+
+use crate::packet::{PacketClass, Phase};
+use crate::routing::VcSet;
+use crate::topology::{Mesh, Placement};
+use crate::types::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// Switch-allocator organization.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum AllocatorKind {
+    /// Separable input-first (iSLIP-style, Table III's allocator): each
+    /// input port nominates one VC, then each output port picks one
+    /// nominating input. Pointers advance on accepted grants.
+    InputFirst,
+    /// Separable output-first: each output port grants one requesting
+    /// input VC, then each input accepts one of its grants.
+    OutputFirst,
+}
+
+/// Routing algorithm selection.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum RoutingKind {
+    /// Dimension-ordered routing, X first.
+    DorXy,
+    /// Dimension-ordered routing, Y first.
+    DorYx,
+    /// Checkerboard routing (paper Section IV-B): per-packet XY or YX
+    /// selection that respects half-router turn restrictions, with a
+    /// random intermediate full-router for half-to-half case-2 routes.
+    Checkerboard,
+    /// O1Turn (Seo et al., ISCA 2005): each packet picks XY or YX
+    /// uniformly at random, achieving near-optimal worst-case throughput
+    /// on full-router meshes. Requires phase-split VCs.
+    O1Turn,
+    /// Two-phase ROMM (Nesson & Johnsson, SPAA 1995): route YX to a
+    /// uniformly random intermediate node in the minimal quadrant, then
+    /// XY to the destination. Full-router meshes only; requires
+    /// phase-split VCs. Checkerboard routing is the half-router-aware
+    /// restriction of this scheme.
+    Romm,
+}
+
+impl RoutingKind {
+    /// `true` if this algorithm requires the virtual channels of each
+    /// protocol class to be split into XY/YX phase subsets (like O1Turn).
+    pub fn needs_phase_split(self) -> bool {
+        matches!(self, RoutingKind::Checkerboard | RoutingKind::O1Turn | RoutingKind::Romm)
+    }
+}
+
+/// How the virtual channels of one physical network are partitioned among
+/// protocol classes and routing phases.
+///
+/// With `classes == 2` the lower half of the VCs carries requests and the
+/// upper half carries replies (two logical networks on one physical
+/// network, avoiding protocol deadlock). With `split_phases` each class's
+/// VCs are further split into an XY subset and a YX subset, which
+/// checkerboard routing requires for routing-deadlock freedom.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct VcLayout {
+    /// Total virtual channels per input port.
+    pub total: u8,
+    /// Number of protocol classes multiplexed onto this network (1 or 2).
+    pub classes: u8,
+    /// Whether each class's VCs are split into XY/YX phase subsets.
+    pub split_phases: bool,
+}
+
+impl VcLayout {
+    /// Creates a layout, validating the partition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the VCs cannot be evenly partitioned (`total` not
+    /// divisible by `classes`, or fewer than 2 VCs per class when
+    /// `split_phases` is set).
+    pub fn new(total: u8, classes: u8, split_phases: bool) -> Self {
+        assert!(classes == 1 || classes == 2, "classes must be 1 or 2");
+        assert!(total >= classes && total.is_multiple_of(classes), "VCs must divide evenly by class");
+        if split_phases {
+            let per_class = total / classes;
+            assert!(
+                per_class >= 2 && per_class.is_multiple_of(2),
+                "phase splitting needs an even number (>= 2) of VCs per class"
+            );
+        }
+        VcLayout { total, classes, split_phases }
+    }
+
+    /// The VC subset available to a protocol class (ignoring phase).
+    pub fn class_set(&self, class: PacketClass) -> VcSet {
+        if self.classes == 1 {
+            VcSet::new(0, self.total)
+        } else {
+            let per = self.total / 2;
+            VcSet::new(class.index() as u8 * per, per)
+        }
+    }
+
+    /// The VC subset available to a packet of the given class in the given
+    /// routing phase.
+    pub fn set_for(&self, class: PacketClass, phase: Phase) -> VcSet {
+        let cs = self.class_set(class);
+        if !self.split_phases {
+            return cs;
+        }
+        let per = cs.count / 2;
+        match phase {
+            Phase::Xy => VcSet::new(cs.first, per),
+            Phase::Yx => VcSet::new(cs.first + per, per),
+        }
+    }
+}
+
+/// Router pipeline timing, derived from a pipeline-stage count.
+///
+/// The baseline router is a 4-stage pipeline (route computation, VC
+/// allocation, switch allocation, switch traversal) plus a 1-cycle channel:
+/// 5 cycles per hop at zero load. Half-routers use 3 stages, and the
+/// "aggressive" router of the latency study uses a single stage (2 cycles
+/// per hop including the channel).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct RouterTiming {
+    /// Cycles between head-flit arrival and VC-allocation eligibility
+    /// (models route-computation stages).
+    pub rc_delay: u64,
+    /// If `true`, switch allocation may occur in the same cycle as VC
+    /// allocation (single-cycle routers).
+    pub same_cycle_sa: bool,
+    /// Cycles of switch traversal between the switch-allocation grant and
+    /// the flit entering the output channel.
+    pub st_delay: u64,
+}
+
+impl RouterTiming {
+    /// Timing for a router with `stages` pipeline stages.
+    ///
+    /// Zero-load per-hop latency is `stages + link_latency`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stages == 0`.
+    pub fn from_stages(stages: u32) -> Self {
+        assert!(stages >= 1, "router needs at least one pipeline stage");
+        match stages {
+            1 => RouterTiming { rc_delay: 0, same_cycle_sa: true, st_delay: 0 },
+            2 => RouterTiming { rc_delay: 0, same_cycle_sa: true, st_delay: 1 },
+            3 => RouterTiming { rc_delay: 0, same_cycle_sa: false, st_delay: 1 },
+            n => RouterTiming {
+                rc_delay: (n - 3) as u64,
+                same_cycle_sa: false,
+                st_delay: 1,
+            },
+        }
+    }
+}
+
+/// Full configuration of one physical network.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct NetworkConfig {
+    /// Topology and router kinds.
+    pub mesh: Mesh,
+    /// Channel (and flit) width in bytes. The paper's balanced baseline
+    /// uses 16 B; the double network slices this to 8 B per subnetwork.
+    pub channel_bytes: u32,
+    /// Virtual-channel layout.
+    pub vcs: VcLayout,
+    /// Buffer depth per virtual channel, in flits (baseline: 8).
+    pub vc_depth: usize,
+    /// Pipeline stages of full-routers (baseline: 4; aggressive: 1).
+    pub router_stages: u32,
+    /// Pipeline stages of half-routers (paper: 3).
+    pub half_router_stages: u32,
+    /// Channel traversal latency in cycles (baseline: 1).
+    pub link_latency: u32,
+    /// Routing algorithm.
+    pub routing: RoutingKind,
+    /// Switch-allocator organization.
+    pub allocator: AllocatorKind,
+    /// Nodes hosting memory controllers (used for multi-port router
+    /// placement and by the open-loop traffic patterns).
+    pub mc_nodes: Vec<NodeId>,
+    /// Injection ports at MC routers (baseline 1; the multi-port design
+    /// uses 2). Terminal bandwidth only — channels are unchanged.
+    pub mc_inject_ports: usize,
+    /// Ejection ports at MC routers (baseline 1).
+    pub mc_eject_ports: usize,
+    /// Injection ports at compute-node routers (baseline 1; channel
+    /// slicing scales this to preserve terminal interface width).
+    pub core_inject_ports: usize,
+    /// Ejection ports at compute-node routers (baseline 1).
+    pub core_eject_ports: usize,
+    /// RNG seed for oblivious routing decisions (checkerboard case-2
+    /// intermediate selection).
+    pub seed: u64,
+}
+
+impl NetworkConfig {
+    /// The paper's balanced baseline: `k x k` full-router mesh, 16-byte
+    /// channels, 2 VCs (one per protocol class) of depth 8, 4-stage
+    /// routers, 1-cycle links, XY dimension-ordered routing, MCs placed
+    /// top-bottom.
+    pub fn baseline_mesh(k: usize) -> Self {
+        let mesh = Mesh::all_full(k);
+        let n_mc = if k == 6 { 8 } else { k.max(2) };
+        let mc_nodes = mesh.top_bottom_mcs(n_mc);
+        NetworkConfig {
+            mesh,
+            channel_bytes: 16,
+            vcs: VcLayout::new(2, 2, false),
+            vc_depth: 8,
+            router_stages: 4,
+            half_router_stages: 3,
+            link_latency: 1,
+            routing: RoutingKind::DorXy,
+            allocator: AllocatorKind::InputFirst,
+            mc_nodes,
+            mc_inject_ports: 1,
+            mc_eject_ports: 1,
+            core_inject_ports: 1,
+            core_eject_ports: 1,
+            seed: 0x7e0c,
+        }
+    }
+
+    /// Checkerboard network: half-routers on odd-parity nodes, staggered
+    /// MC placement on half-routers, checkerboard routing with 4 VCs
+    /// (request XY/YX + reply XY/YX).
+    pub fn checkerboard_mesh(k: usize) -> Self {
+        let mesh = Mesh::checkerboard(k);
+        let n_mc = if k == 6 { 8 } else { k.max(2) };
+        let mc_nodes = mesh.checkerboard_mcs(n_mc);
+        NetworkConfig {
+            mesh,
+            vcs: VcLayout::new(4, 2, true),
+            routing: RoutingKind::Checkerboard,
+            mc_nodes,
+            ..Self::baseline_mesh(k)
+        }
+    }
+
+    /// Number of injection ports at `node`.
+    pub fn inject_ports(&self, node: NodeId) -> usize {
+        if self.mc_nodes.contains(&node) {
+            self.mc_inject_ports
+        } else {
+            self.core_inject_ports
+        }
+    }
+
+    /// Number of ejection ports at `node`.
+    pub fn eject_ports(&self, node: NodeId) -> usize {
+        if self.mc_nodes.contains(&node) {
+            self.mc_eject_ports
+        } else {
+            self.core_eject_ports
+        }
+    }
+
+    /// Router timing for `node` (half-routers may have a shorter pipeline).
+    pub fn timing(&self, node: NodeId) -> RouterTiming {
+        match self.mesh.kind(node) {
+            crate::topology::RouterKind::Full => RouterTiming::from_stages(self.router_stages),
+            crate::topology::RouterKind::Half => {
+                RouterTiming::from_stages(self.half_router_stages)
+            }
+        }
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message if the routing algorithm, VC
+    /// layout, router kinds and MC placement are inconsistent (e.g.
+    /// checkerboard routing without phase-split VCs, or an MC on a node id
+    /// outside the mesh).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.channel_bytes == 0 {
+            return Err("channel width must be positive".into());
+        }
+        if self.vc_depth == 0 {
+            return Err("VC depth must be positive".into());
+        }
+        if self.routing.needs_phase_split() && !self.vcs.split_phases {
+            return Err(format!("{:?} routing requires a phase-split VC layout", self.routing));
+        }
+        if matches!(self.routing, RoutingKind::O1Turn | RoutingKind::Romm)
+            && self.mesh.nodes().any(|n| self.mesh.is_half(n))
+        {
+            return Err(format!("{:?} routing supports full-router meshes only", self.routing));
+        }
+        if self.mc_inject_ports == 0 || self.mc_eject_ports == 0 {
+            return Err("MC routers need at least one injection and ejection port".into());
+        }
+        if self.core_inject_ports == 0 || self.core_eject_ports == 0 {
+            return Err("core routers need at least one injection and ejection port".into());
+        }
+        for &mc in &self.mc_nodes {
+            if mc >= self.mesh.len() {
+                return Err(format!("MC node {mc} outside mesh"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Convenience: the MC placement strategy corresponding to the current
+    /// `mc_nodes`, if it matches a named one.
+    pub fn placement(&self) -> Option<Placement> {
+        let n = self.mc_nodes.len();
+        if self.mc_nodes == self.mesh.top_bottom_mcs(n) {
+            Some(Placement::TopBottom)
+        } else if self.mc_nodes == self.mesh.checkerboard_mcs(n) {
+            Some(Placement::Checkerboard)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_single_class() {
+        let l = VcLayout::new(2, 1, false);
+        let s = l.class_set(PacketClass::Request);
+        assert_eq!((s.first, s.count), (0, 2));
+        assert_eq!(l.set_for(PacketClass::Reply, Phase::Yx), s);
+    }
+
+    #[test]
+    fn layout_two_classes() {
+        let l = VcLayout::new(2, 2, false);
+        assert_eq!(l.class_set(PacketClass::Request), VcSet::new(0, 1));
+        assert_eq!(l.class_set(PacketClass::Reply), VcSet::new(1, 1));
+    }
+
+    #[test]
+    fn layout_phase_split() {
+        let l = VcLayout::new(4, 2, true);
+        assert_eq!(l.set_for(PacketClass::Request, Phase::Xy), VcSet::new(0, 1));
+        assert_eq!(l.set_for(PacketClass::Request, Phase::Yx), VcSet::new(1, 1));
+        assert_eq!(l.set_for(PacketClass::Reply, Phase::Xy), VcSet::new(2, 1));
+        assert_eq!(l.set_for(PacketClass::Reply, Phase::Yx), VcSet::new(3, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "phase splitting")]
+    fn layout_rejects_undersized_phase_split() {
+        let _ = VcLayout::new(2, 2, true);
+    }
+
+    #[test]
+    fn timing_from_stages() {
+        let t4 = RouterTiming::from_stages(4);
+        assert_eq!((t4.rc_delay, t4.same_cycle_sa, t4.st_delay), (1, false, 1));
+        let t3 = RouterTiming::from_stages(3);
+        assert_eq!((t3.rc_delay, t3.same_cycle_sa, t3.st_delay), (0, false, 1));
+        let t1 = RouterTiming::from_stages(1);
+        assert_eq!((t1.rc_delay, t1.same_cycle_sa, t1.st_delay), (0, true, 0));
+    }
+
+    #[test]
+    fn baseline_config_is_valid() {
+        let c = NetworkConfig::baseline_mesh(6);
+        c.validate().unwrap();
+        assert_eq!(c.mc_nodes.len(), 8);
+        assert_eq!(c.placement(), Some(Placement::TopBottom));
+    }
+
+    #[test]
+    fn checkerboard_config_is_valid() {
+        let c = NetworkConfig::checkerboard_mesh(6);
+        c.validate().unwrap();
+        assert_eq!(c.placement(), Some(Placement::Checkerboard));
+        for &mc in &c.mc_nodes {
+            assert!(c.mesh.is_half(mc));
+        }
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let mut c = NetworkConfig::baseline_mesh(6);
+        c.routing = RoutingKind::Checkerboard;
+        assert!(c.validate().is_err(), "CR without phase split must be rejected");
+
+        let mut c = NetworkConfig::baseline_mesh(6);
+        c.mc_nodes.push(999);
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn multiport_only_at_mcs() {
+        let mut c = NetworkConfig::baseline_mesh(6);
+        c.mc_inject_ports = 2;
+        let mc = c.mc_nodes[0];
+        let core = (0..c.mesh.len()).find(|n| !c.mc_nodes.contains(n)).unwrap();
+        assert_eq!(c.inject_ports(mc), 2);
+        assert_eq!(c.inject_ports(core), 1);
+    }
+}

@@ -1,0 +1,47 @@
+//! The interface between the compute/memory system and any interconnect
+//! implementation (real mesh, double network, or idealized models).
+
+use crate::packet::{EjectedPacket, Packet};
+use crate::stats::NetStats;
+use crate::types::NodeId;
+
+/// A network as seen from its terminals.
+///
+/// Implementations: [`crate::Network`] (single physical mesh),
+/// [`crate::DoubleNetwork`] (two channel-sliced meshes),
+/// [`crate::PerfectInterconnect`] (zero latency, infinite bandwidth) and
+/// [`crate::BandwidthLimitedInterconnect`] (zero latency, capped aggregate
+/// bandwidth).
+pub trait Interconnect {
+    /// Offers a packet for injection at `node`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the packet back if the node's network interface cannot
+    /// accept it this cycle (all injection ports busy). Callers should
+    /// retry on a later cycle; the refusal is recorded in the statistics
+    /// (this is the MC-stall signal of the paper's Figure 11).
+    fn try_inject(&mut self, node: NodeId, packet: Packet) -> Result<(), Packet>;
+
+    /// Removes the next packet ejected at `node`, if any.
+    fn pop(&mut self, node: NodeId) -> Option<EjectedPacket>;
+
+    /// Advances the interconnect by one cycle.
+    fn step(&mut self);
+
+    /// Current cycle (number of `step` calls so far).
+    fn cycle(&self) -> u64;
+
+    /// Snapshot of aggregate statistics.
+    fn stats(&self) -> NetStats;
+
+    /// Total flits currently buffered or in flight (zero when fully
+    /// drained).
+    fn in_flight(&self) -> usize;
+
+    /// Total link traversals (flit-hops) since construction. Ideal
+    /// networks report zero — they have no links.
+    fn flit_hops(&self) -> u64 {
+        0
+    }
+}

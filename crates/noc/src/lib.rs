@@ -1,0 +1,72 @@
+//! # tenoc-noc — cycle-level on-chip network simulator
+//!
+//! A from-scratch, deterministic, cycle-level simulator for 2D-mesh
+//! networks-on-chip with virtual-channel wormhole flow control, built to
+//! reproduce the network microarchitecture evaluated in *Throughput-Effective
+//! On-Chip Networks for Manycore Accelerators* (Bakhoda, Kim, Aamodt,
+//! MICRO 2010).
+//!
+//! The crate provides:
+//!
+//! * A canonical input-queued virtual-channel router ([`router::Router`])
+//!   with a configurable pipeline depth (4-stage baseline, 3-stage
+//!   half-routers, aggressive 1-cycle routers), credit-based flow control
+//!   and iSLIP-style separable switch allocation.
+//! * The paper's **checkerboard** network organization: alternating
+//!   full-routers and *half-routers* with restricted connectivity
+//!   ([`topology::RouterKind`]), plus the **checkerboard routing** (CR)
+//!   oblivious routing algorithm ([`routing`]).
+//! * Multi-port (extra injection/ejection) routers for memory-controller
+//!   nodes, and channel-sliced **double networks** ([`network::DoubleNetwork`]).
+//! * Idealized interconnect models used in the paper's limit studies:
+//!   a perfect network and a zero-latency, aggregate-bandwidth-limited
+//!   network ([`ideal`]).
+//! * An open-loop traffic harness for latency/throughput curves under
+//!   many-to-few-to-many traffic ([`openloop`]), reproducing Figure 21.
+//!
+//! # Example
+//!
+//! Send a packet across a 6x6 baseline mesh and observe its latency:
+//!
+//! ```
+//! use tenoc_noc::{Interconnect, Network, NetworkConfig, Packet};
+//!
+//! let cfg = NetworkConfig::baseline_mesh(6);
+//! let mut net = Network::new(cfg);
+//! let pkt = Packet::request(0, 35, 8, 42); // src, dst, bytes, tag
+//! net.try_inject(0, pkt).expect("empty network accepts injection");
+//! for _ in 0..200 {
+//!     net.step();
+//! }
+//! let out = net.pop(35).expect("packet delivered");
+//! assert_eq!(out.header.tag, 42);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arbiter;
+pub mod buffer;
+pub mod channel;
+pub mod config;
+pub mod ideal;
+pub mod interconnect;
+pub mod network;
+pub mod openloop;
+pub mod packet;
+pub mod router;
+pub mod routing;
+pub mod stats;
+pub mod synthetic;
+pub mod topology;
+pub mod types;
+
+pub use config::{AllocatorKind, NetworkConfig, RouterTiming, RoutingKind, VcLayout};
+pub use ideal::{BandwidthLimitedInterconnect, PerfectInterconnect};
+pub use interconnect::Interconnect;
+pub use network::{DoubleNetwork, Network};
+pub use packet::{EjectedPacket, Flit, Packet, PacketClass, PacketHeader, Phase};
+pub use routing::{OutPort, RouteDecision, VcSet};
+pub use stats::NetStats;
+pub use topology::{Mesh, Placement, RouterKind};
+pub use types::{Coord, Direction, NodeId};

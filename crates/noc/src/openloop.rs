@@ -1,0 +1,324 @@
+//! Open-loop many-to-few-to-many traffic harness (paper Figure 21).
+//!
+//! Compute nodes inject single-flit read requests at a configurable rate
+//! toward the few MC nodes (uniform-random or hotspot selection); each MC
+//! responds to every request with a four-flit read reply. Latency is
+//! reported over packets *generated* during the measurement window,
+//! including source queueing, so the curves exhibit the classic saturation
+//! blow-up as offered load approaches network capacity.
+
+use crate::config::NetworkConfig;
+use crate::interconnect::Interconnect;
+use crate::network::Network;
+use crate::packet::Packet;
+use crate::types::NodeId;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+
+/// Destination selection among the MC nodes.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub enum TrafficPattern {
+    /// Each request picks an MC uniformly at random (1/m each).
+    UniformRandom,
+    /// A fraction of requests target one hot MC; the rest are uniform over
+    /// the others. The paper uses 20% to one of eight MCs.
+    Hotspot {
+        /// Index (into the MC list) of the hot MC.
+        hot: usize,
+        /// Fraction of requests sent to the hot MC.
+        fraction: f64,
+    },
+}
+
+/// Open-loop experiment configuration.
+#[derive(Clone, Debug)]
+pub struct OpenLoopConfig {
+    /// Network under test. Its `mc_nodes` are the few destinations.
+    pub net: NetworkConfig,
+    /// Offered load per compute node, in flits/cycle (requests are one
+    /// flit, so this equals packets/cycle/node).
+    pub injection_rate: f64,
+    /// Traffic pattern.
+    pub pattern: TrafficPattern,
+    /// Warm-up cycles before measurement.
+    pub warmup: u64,
+    /// Measurement window in cycles.
+    pub measure: u64,
+    /// Extra cycles allowed for measured packets to drain.
+    pub drain: u64,
+    /// Request payload bytes (default 8: one flit at 16-byte channels).
+    pub request_bytes: u32,
+    /// Reply payload bytes (default 64: four flits at 16-byte channels).
+    pub reply_bytes: u32,
+    /// Traffic RNG seed.
+    pub seed: u64,
+}
+
+impl OpenLoopConfig {
+    /// Defaults matching Figure 21 for a given network configuration and
+    /// injection rate.
+    pub fn new(net: NetworkConfig, injection_rate: f64, pattern: TrafficPattern) -> Self {
+        OpenLoopConfig {
+            net,
+            injection_rate,
+            pattern,
+            warmup: 10_000,
+            measure: 20_000,
+            drain: 30_000,
+            request_bytes: 8,
+            reply_bytes: 64,
+            seed: 0x0f21,
+        }
+    }
+}
+
+/// Result of one open-loop run at one injection rate.
+#[derive(Clone, Copy, Debug)]
+pub struct OpenLoopResult {
+    /// Offered load (flits/cycle/compute-node), as configured.
+    pub offered: f64,
+    /// Accepted throughput over the measurement window, in ejected flits
+    /// per cycle per node (all nodes, both classes).
+    pub accepted: f64,
+    /// Mean latency of measured packets (generation to ejection),
+    /// requests and replies combined.
+    pub avg_latency: f64,
+    /// Mean measured request latency.
+    pub avg_request_latency: f64,
+    /// Mean measured reply latency.
+    pub avg_reply_latency: f64,
+    /// Fraction of measured packets that drained before the deadline.
+    /// Values below ~0.99 indicate the network is past saturation.
+    pub delivered_fraction: f64,
+}
+
+impl OpenLoopResult {
+    /// `true` when the run shows saturation (undelivered measured packets
+    /// or very large mean latency).
+    pub fn saturated(&self) -> bool {
+        self.delivered_fraction < 0.99 || self.avg_latency > 500.0
+    }
+}
+
+/// Runs one open-loop simulation.
+///
+/// # Panics
+///
+/// Panics if the configuration has no MC nodes or fails validation.
+pub fn run_open_loop(cfg: &OpenLoopConfig) -> OpenLoopResult {
+    assert!(!cfg.net.mc_nodes.is_empty(), "open-loop traffic needs MC nodes");
+    let mcs = cfg.net.mc_nodes.clone();
+    let nodes = cfg.net.mesh.len();
+    let compute: Vec<NodeId> = (0..nodes).filter(|n| !mcs.contains(n)).collect();
+    let mut net = Network::new(cfg.net.clone());
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+
+    // Unbounded source queues (standard open-loop methodology).
+    let mut src_q: Vec<VecDeque<Packet>> = vec![VecDeque::new(); nodes];
+    let mut reply_q: Vec<VecDeque<Packet>> = vec![VecDeque::new(); nodes];
+
+    let total = cfg.warmup + cfg.measure + cfg.drain;
+    let meas_start = cfg.warmup;
+    let meas_end = cfg.warmup + cfg.measure;
+
+    let mut generated_measured = 0u64;
+    let mut delivered_measured = 0u64;
+    let mut lat_sum = [0u64; 2];
+    let mut lat_cnt = [0u64; 2];
+    let mut ejected_flits_window = 0u64;
+
+    for now in 0..total {
+        // Generate new requests at the compute nodes.
+        if now < meas_end {
+            for &c in &compute {
+                if rng.gen_bool(cfg.injection_rate.min(1.0)) {
+                    let dst = pick_mc(&mcs, cfg.pattern, &mut rng);
+                    let mut p = Packet::request(c, dst, cfg.request_bytes, 0);
+                    p.header.created = now.max(1);
+                    src_q[c].push_back(p);
+                    if (meas_start..meas_end).contains(&now) {
+                        generated_measured += 1;
+                        // Mark measured packets via the tag.
+                        src_q[c].back_mut().unwrap().header.tag = 1;
+                    }
+                }
+            }
+        }
+        // Drain source queues into the network.
+        for &c in &compute {
+            while let Some(&p) = src_q[c].front() {
+                if net.try_inject(c, p).is_ok() {
+                    src_q[c].pop_front();
+                } else {
+                    break;
+                }
+            }
+        }
+        // MCs: service ejected requests, emit replies; drain reply queues.
+        for &mc in &mcs {
+            while let Some(req) = net.pop(mc) {
+                let mut rep = Packet::reply(mc, req.header.src, cfg.reply_bytes, req.header.tag);
+                rep.header.created = (now + 1).max(1);
+                reply_q[mc].push_back(rep);
+                if req.header.tag == 1 {
+                    let l = req.total_latency();
+                    lat_sum[0] += l;
+                    lat_cnt[0] += 1;
+                    if (meas_start..meas_end).contains(&req.header.created) {
+                        ejected_flits_window += req.header.flits as u64;
+                    }
+                }
+            }
+            while let Some(&p) = reply_q[mc].front() {
+                if net.try_inject(mc, p).is_ok() {
+                    reply_q[mc].pop_front();
+                } else {
+                    break;
+                }
+            }
+        }
+        // Compute nodes: consume replies.
+        for &c in &compute {
+            while let Some(rep) = net.pop(c) {
+                if rep.header.tag == 1 {
+                    let l = rep.total_latency();
+                    lat_sum[1] += l;
+                    lat_cnt[1] += 1;
+                    delivered_measured += 1;
+                    ejected_flits_window += rep.header.flits as u64;
+                }
+            }
+        }
+        net.step();
+    }
+
+    let total_lat: u64 = lat_sum.iter().sum();
+    let total_cnt: u64 = lat_cnt.iter().sum();
+    OpenLoopResult {
+        offered: cfg.injection_rate,
+        accepted: ejected_flits_window as f64 / cfg.measure as f64 / nodes as f64,
+        avg_latency: if total_cnt == 0 { f64::INFINITY } else { total_lat as f64 / total_cnt as f64 },
+        avg_request_latency: if lat_cnt[0] == 0 {
+            f64::INFINITY
+        } else {
+            lat_sum[0] as f64 / lat_cnt[0] as f64
+        },
+        avg_reply_latency: if lat_cnt[1] == 0 {
+            f64::INFINITY
+        } else {
+            lat_sum[1] as f64 / lat_cnt[1] as f64
+        },
+        delivered_fraction: if generated_measured == 0 {
+            1.0
+        } else {
+            delivered_measured as f64 / generated_measured as f64
+        },
+    }
+}
+
+fn pick_mc<R: Rng>(mcs: &[NodeId], pattern: TrafficPattern, rng: &mut R) -> NodeId {
+    match pattern {
+        TrafficPattern::UniformRandom => mcs[rng.gen_range(0..mcs.len())],
+        TrafficPattern::Hotspot { hot, fraction } => {
+            if rng.gen_bool(fraction) {
+                mcs[hot]
+            } else {
+                let others: usize = rng.gen_range(0..mcs.len() - 1);
+                let idx = if others >= hot { others + 1 } else { others };
+                mcs[idx]
+            }
+        }
+    }
+}
+
+/// Sweeps injection rates and returns the (rate, result) curve, stopping
+/// early once two consecutive points are saturated.
+pub fn latency_curve(
+    base: &OpenLoopConfig,
+    rates: impl IntoIterator<Item = f64>,
+) -> Vec<OpenLoopResult> {
+    let mut out = Vec::new();
+    let mut saturated_streak = 0;
+    for rate in rates {
+        let mut cfg = base.clone();
+        cfg.injection_rate = rate;
+        let r = run_open_loop(&cfg);
+        let sat = r.saturated();
+        out.push(r);
+        saturated_streak = if sat { saturated_streak + 1 } else { 0 };
+        if saturated_streak >= 2 {
+            break;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::NetworkConfig;
+
+    fn quick_cfg(rate: f64) -> OpenLoopConfig {
+        let mut c = OpenLoopConfig::new(
+            NetworkConfig::baseline_mesh(6),
+            rate,
+            TrafficPattern::UniformRandom,
+        );
+        c.warmup = 500;
+        c.measure = 1500;
+        c.drain = 3000;
+        c
+    }
+
+    #[test]
+    fn low_load_latency_near_zero_load() {
+        let r = run_open_loop(&quick_cfg(0.005));
+        assert!(!r.saturated(), "0.005 flits/cycle/node must be below saturation");
+        // Zero-load-ish: a handful of hops at 5 cycles plus serialization.
+        assert!(r.avg_latency > 10.0 && r.avg_latency < 80.0, "latency {}", r.avg_latency);
+        assert!(r.delivered_fraction > 0.99);
+    }
+
+    #[test]
+    fn latency_grows_with_load() {
+        let lo = run_open_loop(&quick_cfg(0.005));
+        let hi = run_open_loop(&quick_cfg(0.05));
+        assert!(
+            hi.avg_latency > lo.avg_latency,
+            "latency must rise with load: {} vs {}",
+            lo.avg_latency,
+            hi.avg_latency
+        );
+    }
+
+    #[test]
+    fn extreme_load_saturates() {
+        let r = run_open_loop(&quick_cfg(0.5));
+        assert!(r.saturated(), "0.5 flits/cycle/node is far past many-to-few capacity");
+    }
+
+    #[test]
+    fn hotspot_pick_respects_fraction() {
+        let mcs: Vec<NodeId> = (0..8).collect();
+        let mut rng = SmallRng::seed_from_u64(3);
+        let n = 20_000;
+        let mut hot_hits = 0;
+        for _ in 0..n {
+            let mc = pick_mc(&mcs, TrafficPattern::Hotspot { hot: 2, fraction: 0.2 }, &mut rng);
+            if mc == 2 {
+                hot_hits += 1;
+            }
+        }
+        let frac = hot_hits as f64 / n as f64;
+        assert!((frac - 0.2).abs() < 0.02, "hot fraction {frac}");
+    }
+
+    #[test]
+    fn curve_stops_after_saturation() {
+        let base = quick_cfg(0.0);
+        let rates = [0.01, 0.3, 0.4, 0.5, 0.6];
+        let curve = latency_curve(&base, rates);
+        assert!(curve.len() < rates.len(), "sweep must stop early once saturated");
+    }
+}

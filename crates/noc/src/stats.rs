@@ -1,0 +1,213 @@
+//! Network statistics: latency, throughput and injection-blocking
+//! accounting used by the paper's figures.
+
+use crate::packet::{EjectedPacket, PacketClass};
+use serde::{Deserialize, Serialize};
+
+/// Aggregated statistics of a network (or a pair of sliced networks).
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct NetStats {
+    /// Cycles simulated.
+    pub cycles: u64,
+    /// Packets ejected, per class (`[request, reply]`).
+    pub packets: [u64; 2],
+    /// Flits ejected, per class.
+    pub flits: [u64; 2],
+    /// Sum of total latencies (creation to tail ejection), per class.
+    pub total_latency_sum: [u64; 2],
+    /// Sum of network latencies (head injection to tail ejection), per
+    /// class.
+    pub net_latency_sum: [u64; 2],
+    /// Flits injected into the network per source node.
+    pub injected_flits_by_node: Vec<u64>,
+    /// Flits ejected from the network per destination node.
+    pub ejected_flits_by_node: Vec<u64>,
+    /// `try_inject` calls per node.
+    pub inject_attempts_by_node: Vec<u64>,
+    /// `try_inject` calls per node that were refused because all injection
+    /// ports were busy (the paper's "MC stalled by reply network" signal
+    /// when read at MC nodes).
+    pub inject_blocked_by_node: Vec<u64>,
+}
+
+impl NetStats {
+    /// Creates zeroed statistics for `nodes` network terminals.
+    pub fn new(nodes: usize) -> Self {
+        NetStats {
+            cycles: 0,
+            packets: [0; 2],
+            flits: [0; 2],
+            total_latency_sum: [0; 2],
+            net_latency_sum: [0; 2],
+            injected_flits_by_node: vec![0; nodes],
+            ejected_flits_by_node: vec![0; nodes],
+            inject_attempts_by_node: vec![0; nodes],
+            inject_blocked_by_node: vec![0; nodes],
+        }
+    }
+
+    /// Records an ejected packet.
+    pub fn record_ejection(&mut self, pkt: &EjectedPacket) {
+        let c = pkt.header.class.index();
+        self.packets[c] += 1;
+        self.flits[c] += pkt.header.flits as u64;
+        self.total_latency_sum[c] += pkt.total_latency();
+        self.net_latency_sum[c] += pkt.network_latency();
+        if let Some(e) = self.ejected_flits_by_node.get_mut(pkt.header.dst) {
+            *e += pkt.header.flits as u64;
+        }
+    }
+
+    /// Total packets ejected across classes.
+    pub fn total_packets(&self) -> u64 {
+        self.packets.iter().sum()
+    }
+
+    /// Total flits ejected across classes.
+    pub fn total_flits(&self) -> u64 {
+        self.flits.iter().sum()
+    }
+
+    /// Mean packet latency from creation to ejection, across classes.
+    /// Returns 0.0 when no packet has been ejected.
+    pub fn avg_total_latency(&self) -> f64 {
+        let n = self.total_packets();
+        if n == 0 {
+            return 0.0;
+        }
+        self.total_latency_sum.iter().sum::<u64>() as f64 / n as f64
+    }
+
+    /// Mean in-network latency (injection to ejection), across classes.
+    pub fn avg_network_latency(&self) -> f64 {
+        let n = self.total_packets();
+        if n == 0 {
+            return 0.0;
+        }
+        self.net_latency_sum.iter().sum::<u64>() as f64 / n as f64
+    }
+
+    /// Mean in-network latency for one class.
+    pub fn avg_network_latency_class(&self, class: PacketClass) -> f64 {
+        let c = class.index();
+        if self.packets[c] == 0 {
+            return 0.0;
+        }
+        self.net_latency_sum[c] as f64 / self.packets[c] as f64
+    }
+
+    /// Mean flits a node injected per cycle.
+    pub fn injection_rate(&self, node: usize) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        self.injected_flits_by_node[node] as f64 / self.cycles as f64
+    }
+
+    /// Fraction of `try_inject` calls at `node` that were refused.
+    pub fn blocked_fraction(&self, node: usize) -> f64 {
+        let a = self.inject_attempts_by_node[node];
+        if a == 0 {
+            return 0.0;
+        }
+        self.inject_blocked_by_node[node] as f64 / a as f64
+    }
+
+    /// Accepted traffic averaged over all nodes, in flits/cycle/node.
+    pub fn accepted_flits_per_node_cycle(&self) -> f64 {
+        let nodes = self.ejected_flits_by_node.len();
+        if self.cycles == 0 || nodes == 0 {
+            return 0.0;
+        }
+        self.total_flits() as f64 / self.cycles as f64 / nodes as f64
+    }
+
+    /// Merges statistics from another network (e.g. the second slice of a
+    /// double network).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node counts differ.
+    pub fn merge(&mut self, other: &NetStats) {
+        assert_eq!(
+            self.injected_flits_by_node.len(),
+            other.injected_flits_by_node.len(),
+            "cannot merge stats over different node counts"
+        );
+        self.cycles = self.cycles.max(other.cycles);
+        for c in 0..2 {
+            self.packets[c] += other.packets[c];
+            self.flits[c] += other.flits[c];
+            self.total_latency_sum[c] += other.total_latency_sum[c];
+            self.net_latency_sum[c] += other.net_latency_sum[c];
+        }
+        for i in 0..self.injected_flits_by_node.len() {
+            self.injected_flits_by_node[i] += other.injected_flits_by_node[i];
+            self.ejected_flits_by_node[i] += other.ejected_flits_by_node[i];
+            self.inject_attempts_by_node[i] += other.inject_attempts_by_node[i];
+            self.inject_blocked_by_node[i] += other.inject_blocked_by_node[i];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::Packet;
+
+    fn ejected(class: PacketClass, flits: u16, created: u64, injected: u64, out: u64) -> EjectedPacket {
+        let mut p = Packet::new(class, 0, 1, 64, 0);
+        p.header.flits = flits;
+        p.header.created = created;
+        p.header.injected = injected;
+        EjectedPacket { header: p.header, ejected: out }
+    }
+
+    #[test]
+    fn records_latency_sums_per_class() {
+        let mut s = NetStats::new(4);
+        s.record_ejection(&ejected(PacketClass::Request, 1, 0, 2, 10));
+        s.record_ejection(&ejected(PacketClass::Reply, 4, 5, 6, 25));
+        assert_eq!(s.packets, [1, 1]);
+        assert_eq!(s.flits, [1, 4]);
+        assert_eq!(s.total_latency_sum, [10, 20]);
+        assert_eq!(s.net_latency_sum, [8, 19]);
+        assert!((s.avg_total_latency() - 15.0).abs() < 1e-9);
+        assert!((s.avg_network_latency() - 13.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_stats_have_zero_averages() {
+        let s = NetStats::new(2);
+        assert_eq!(s.avg_total_latency(), 0.0);
+        assert_eq!(s.avg_network_latency(), 0.0);
+        assert_eq!(s.blocked_fraction(0), 0.0);
+        assert_eq!(s.injection_rate(1), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_counters() {
+        let mut a = NetStats::new(2);
+        let mut b = NetStats::new(2);
+        a.cycles = 100;
+        b.cycles = 100;
+        a.record_ejection(&ejected(PacketClass::Request, 1, 0, 0, 4));
+        b.record_ejection(&ejected(PacketClass::Reply, 4, 0, 0, 8));
+        b.inject_attempts_by_node[0] = 10;
+        b.inject_blocked_by_node[0] = 5;
+        a.merge(&b);
+        assert_eq!(a.total_packets(), 2);
+        assert_eq!(a.total_flits(), 5);
+        assert_eq!(a.blocked_fraction(0), 0.5);
+    }
+
+    #[test]
+    fn accepted_rate_normalizes_by_nodes_and_cycles() {
+        let mut s = NetStats::new(2);
+        s.cycles = 10;
+        s.record_ejection(&ejected(PacketClass::Request, 1, 0, 0, 1));
+        s.record_ejection(&ejected(PacketClass::Reply, 4, 0, 0, 2));
+        // 5 flits / 10 cycles / 2 nodes
+        assert!((s.accepted_flits_per_node_cycle() - 0.25).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,380 @@
+//! Mesh topology, router kinds (full vs. half) and memory-controller
+//! placements.
+//!
+//! The checkerboard organization (paper Section IV-A) alternates
+//! conventional five-port **full-routers** with **half-routers** whose
+//! crossbar cannot change a packet's dimension: the east port connects only
+//! to the west port and vice versa, the north port only to the south port
+//! and vice versa, while the injection port reaches every output and every
+//! input reaches the ejection port.
+
+use crate::types::{Coord, Direction, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// Microarchitectural kind of a router.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum RouterKind {
+    /// Conventional 2D-mesh router: any input may reach any output (other
+    /// than its own port).
+    Full,
+    /// Reduced-connectivity router: packets may not change dimension.
+    /// Crossbar degenerates to four 2x1 muxes plus an ejection mux,
+    /// roughly halving router area (paper Section V-F).
+    Half,
+}
+
+/// Memory-controller placement strategy.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum Placement {
+    /// Baseline: MCs on the top and bottom rows (paper Figure 3), like
+    /// Intel's 80-core design and Tilera TILE64.
+    TopBottom,
+    /// Staggered placement on half-router nodes (paper Figure 12),
+    /// exploiting the checkerboard organization to spread MC hot-spots.
+    Checkerboard,
+}
+
+/// A `k x k` 2D mesh with a router-kind map.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Mesh {
+    k: usize,
+    kinds: Vec<RouterKind>,
+}
+
+impl Mesh {
+    /// A mesh in which every router is a full-router.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or `k > u16::MAX as usize`.
+    pub fn all_full(k: usize) -> Self {
+        assert!(k > 0 && k <= u16::MAX as usize, "mesh radix out of range");
+        Mesh { k, kinds: vec![RouterKind::Full; k * k] }
+    }
+
+    /// A checkerboard mesh: node `(x, y)` is a half-router iff `x + y` is
+    /// odd (the hatched routers of paper Figure 12).
+    ///
+    /// ```
+    /// use tenoc_noc::{Coord, Mesh};
+    ///
+    /// let mesh = Mesh::checkerboard(6);
+    /// assert!(!mesh.is_half(mesh.node(Coord::new(0, 0))));
+    /// assert!(mesh.is_half(mesh.node(Coord::new(1, 0))));
+    /// ```
+    pub fn checkerboard(k: usize) -> Self {
+        let mut mesh = Self::all_full(k);
+        for id in 0..k * k {
+            let c = mesh.coord(id);
+            if (c.x + c.y) % 2 == 1 {
+                mesh.kinds[id] = RouterKind::Half;
+            }
+        }
+        mesh
+    }
+
+    /// Mesh radix `k` (the mesh has `k * k` nodes).
+    pub fn radix(&self) -> usize {
+        self.k
+    }
+
+    /// Total node count.
+    pub fn len(&self) -> usize {
+        self.k * self.k
+    }
+
+    /// `true` if the mesh has no nodes (never true for constructed meshes).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Node id at a coordinate.
+    pub fn node(&self, c: Coord) -> NodeId {
+        debug_assert!((c.x as usize) < self.k && (c.y as usize) < self.k);
+        c.y as usize * self.k + c.x as usize
+    }
+
+    /// Coordinate of a node id.
+    pub fn coord(&self, id: NodeId) -> Coord {
+        debug_assert!(id < self.len());
+        Coord::new((id % self.k) as u16, (id / self.k) as u16)
+    }
+
+    /// Kind of the router at `id`.
+    pub fn kind(&self, id: NodeId) -> RouterKind {
+        self.kinds[id]
+    }
+
+    /// `true` if the router at `id` is a half-router.
+    pub fn is_half(&self, id: NodeId) -> bool {
+        self.kinds[id] == RouterKind::Half
+    }
+
+    /// Neighbor of `id` in direction `dir`, or `None` at the mesh edge.
+    pub fn neighbor(&self, id: NodeId, dir: Direction) -> Option<NodeId> {
+        let c = self.coord(id);
+        let (x, y) = (c.x as isize, c.y as isize);
+        let (nx, ny) = match dir {
+            Direction::North => (x, y - 1),
+            Direction::South => (x, y + 1),
+            Direction::East => (x + 1, y),
+            Direction::West => (x - 1, y),
+        };
+        if nx < 0 || ny < 0 || nx >= self.k as isize || ny >= self.k as isize {
+            None
+        } else {
+            Some(self.node(Coord::new(nx as u16, ny as u16)))
+        }
+    }
+
+    /// Iterator over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        0..self.len()
+    }
+
+    /// Baseline top-bottom MC placement (paper Figure 3): `n_mc / 2` MCs
+    /// centered on the top row and the rest centered on the bottom row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more MCs per row are requested than the row can hold.
+    pub fn top_bottom_mcs(&self, n_mc: usize) -> Vec<NodeId> {
+        let top = n_mc / 2;
+        let bottom = n_mc - top;
+        assert!(top <= self.k && bottom <= self.k, "too many MCs per row");
+        let mut out = Vec::with_capacity(n_mc);
+        let start_top = (self.k - top) / 2;
+        for i in 0..top {
+            out.push(self.node(Coord::new((start_top + i) as u16, 0)));
+        }
+        let start_bot = (self.k - bottom) / 2;
+        for i in 0..bottom {
+            out.push(self.node(Coord::new((start_bot + i) as u16, (self.k - 1) as u16)));
+        }
+        out
+    }
+
+    /// Staggered checkerboard MC placement (paper Figure 12). All returned
+    /// nodes satisfy `x + y` odd, i.e. they are half-routers in a
+    /// checkerboard mesh, so MC/L2 traffic never needs full-to-full routes.
+    ///
+    /// For the paper's 6x6/8-MC configuration this returns a hand-tuned
+    /// staggered set (the paper likewise picked the best of several valid
+    /// placements); for other sizes MCs are spread round-robin over rows at
+    /// alternating column offsets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_mc` exceeds the number of half-router positions.
+    pub fn checkerboard_mcs(&self, n_mc: usize) -> Vec<NodeId> {
+        if self.k == 6 && n_mc == 8 {
+            // Hand-tuned staggered placement: two MCs on the top and bottom
+            // rows, one on each interior row, spread across columns.
+            return [(1, 0), (5, 0), (4, 1), (3, 2), (0, 3), (5, 4), (0, 5), (2, 5)]
+                .into_iter()
+                .map(|(x, y)| self.node(Coord::new(x, y)))
+                .collect();
+        }
+        let half_positions: Vec<NodeId> = self
+            .nodes()
+            .filter(|&id| {
+                let c = self.coord(id);
+                (c.x + c.y) % 2 == 1
+            })
+            .collect();
+        assert!(n_mc <= half_positions.len(), "not enough half-router positions");
+        // Spread by striding through the list of half positions.
+        let stride = half_positions.len() / n_mc.max(1);
+        (0..n_mc).map(|i| half_positions[i * stride.max(1)]).collect()
+    }
+
+    /// MC placement for a strategy.
+    pub fn mcs(&self, placement: Placement, n_mc: usize) -> Vec<NodeId> {
+        match placement {
+            Placement::TopBottom => self.top_bottom_mcs(n_mc),
+            Placement::Checkerboard => self.checkerboard_mcs(n_mc),
+        }
+    }
+}
+
+/// Input side of a router port.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum InPort {
+    /// Flits arriving from a neighboring router in the given direction.
+    Dir(Direction),
+    /// Flits arriving from a local injection port (index within the
+    /// router's injection ports).
+    Inject(u8),
+}
+
+/// Output side of a router port.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum OutPortKind {
+    /// Channel toward the neighboring router in the given direction.
+    Dir(Direction),
+    /// Local ejection port (index within the router's ejection ports).
+    Eject(u8),
+}
+
+/// `true` if the router kind permits a flit arriving on `inp` to leave via
+/// `out`.
+///
+/// Full-routers permit everything except U-turns on direction ports.
+/// Half-routers additionally forbid dimension changes: a flit arriving from
+/// the east may only continue west (or eject), etc. Injection and ejection
+/// are always fully connected.
+pub fn connection_allowed(kind: RouterKind, inp: InPort, out: OutPortKind) -> bool {
+    match (inp, out) {
+        // U-turns never allowed on direction ports.
+        (InPort::Dir(d), OutPortKind::Dir(o)) if o == d.opposite() => match kind {
+            // A flit arriving *from* direction d entered via the channel
+            // pointing d.opposite() -> continuing in the same travel
+            // direction means leaving via d.opposite()... see note below.
+            RouterKind::Full | RouterKind::Half => true,
+        },
+        (InPort::Dir(d), OutPortKind::Dir(o)) if o == d => false, // reflect back
+        (InPort::Dir(d), OutPortKind::Dir(o)) => match kind {
+            RouterKind::Full => true,
+            // Dimension change (e.g. entered moving south, leaves east) is
+            // exactly the non-opposite, non-reflecting case.
+            RouterKind::Half => {
+                let _ = (d, o);
+                false
+            }
+        },
+        (InPort::Dir(_), OutPortKind::Eject(_)) => true,
+        (InPort::Inject(_), _) => true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checkerboard_parity() {
+        let m = Mesh::checkerboard(6);
+        assert_eq!(m.len(), 36);
+        let mut halves = 0;
+        for id in m.nodes() {
+            let c = m.coord(id);
+            let expect_half = (c.x + c.y) % 2 == 1;
+            assert_eq!(m.is_half(id), expect_half, "node {c}");
+            if m.is_half(id) {
+                halves += 1;
+            }
+        }
+        assert_eq!(halves, 18);
+    }
+
+    #[test]
+    fn coord_node_roundtrip() {
+        let m = Mesh::all_full(6);
+        for id in m.nodes() {
+            assert_eq!(m.node(m.coord(id)), id);
+        }
+    }
+
+    #[test]
+    fn neighbors_at_edges() {
+        let m = Mesh::all_full(4);
+        let nw = m.node(Coord::new(0, 0));
+        assert_eq!(m.neighbor(nw, Direction::North), None);
+        assert_eq!(m.neighbor(nw, Direction::West), None);
+        assert_eq!(m.neighbor(nw, Direction::East), Some(m.node(Coord::new(1, 0))));
+        assert_eq!(m.neighbor(nw, Direction::South), Some(m.node(Coord::new(0, 1))));
+
+        let se = m.node(Coord::new(3, 3));
+        assert_eq!(m.neighbor(se, Direction::South), None);
+        assert_eq!(m.neighbor(se, Direction::East), None);
+    }
+
+    #[test]
+    fn neighbor_is_symmetric() {
+        let m = Mesh::all_full(5);
+        for id in m.nodes() {
+            for d in Direction::ALL {
+                if let Some(n) = m.neighbor(id, d) {
+                    assert_eq!(m.neighbor(n, d.opposite()), Some(id));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn top_bottom_placement() {
+        let m = Mesh::all_full(6);
+        let mcs = m.top_bottom_mcs(8);
+        assert_eq!(mcs.len(), 8);
+        for (i, &mc) in mcs.iter().enumerate() {
+            let c = m.coord(mc);
+            if i < 4 {
+                assert_eq!(c.y, 0);
+            } else {
+                assert_eq!(c.y, 5);
+            }
+        }
+        // Centered: columns 1..=4 on both rows.
+        let cols: Vec<u16> = mcs.iter().map(|&n| m.coord(n).x).collect();
+        assert_eq!(cols, vec![1, 2, 3, 4, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn checkerboard_placement_on_half_routers() {
+        let m = Mesh::checkerboard(6);
+        let mcs = m.checkerboard_mcs(8);
+        assert_eq!(mcs.len(), 8);
+        let unique: std::collections::HashSet<_> = mcs.iter().collect();
+        assert_eq!(unique.len(), 8, "MC positions must be distinct");
+        for &mc in &mcs {
+            assert!(m.is_half(mc), "MC at {} must sit on a half-router", m.coord(mc));
+        }
+    }
+
+    #[test]
+    fn checkerboard_placement_generic_sizes() {
+        for k in [4usize, 8, 10] {
+            let m = Mesh::checkerboard(k);
+            let n_mc = k; // e.g. 8 MCs on an 8x8
+            let mcs = m.checkerboard_mcs(n_mc);
+            assert_eq!(mcs.len(), n_mc);
+            let unique: std::collections::HashSet<_> = mcs.iter().collect();
+            assert_eq!(unique.len(), n_mc);
+            for &mc in &mcs {
+                assert!(m.is_half(mc));
+            }
+        }
+    }
+
+    #[test]
+    fn full_router_connectivity() {
+        use Direction::*;
+        let k = RouterKind::Full;
+        // Straight-through: entered from the North input (moving south),
+        // leaves via South.
+        assert!(connection_allowed(k, InPort::Dir(North), OutPortKind::Dir(South)));
+        // Turns allowed.
+        assert!(connection_allowed(k, InPort::Dir(North), OutPortKind::Dir(East)));
+        // Reflection back out of the same port is not.
+        assert!(!connection_allowed(k, InPort::Dir(North), OutPortKind::Dir(North)));
+        assert!(connection_allowed(k, InPort::Dir(North), OutPortKind::Eject(0)));
+        assert!(connection_allowed(k, InPort::Inject(0), OutPortKind::Dir(West)));
+    }
+
+    #[test]
+    fn half_router_connectivity() {
+        use Direction::*;
+        let k = RouterKind::Half;
+        // Straight-through still fine.
+        assert!(connection_allowed(k, InPort::Dir(North), OutPortKind::Dir(South)));
+        assert!(connection_allowed(k, InPort::Dir(East), OutPortKind::Dir(West)));
+        // Dimension changes forbidden.
+        assert!(!connection_allowed(k, InPort::Dir(North), OutPortKind::Dir(East)));
+        assert!(!connection_allowed(k, InPort::Dir(East), OutPortKind::Dir(South)));
+        // Injection and ejection fully connected.
+        for d in Direction::ALL {
+            assert!(connection_allowed(k, InPort::Inject(0), OutPortKind::Dir(d)));
+            assert!(connection_allowed(k, InPort::Dir(d), OutPortKind::Eject(0)));
+        }
+    }
+}

@@ -1,0 +1,237 @@
+//! Property-based tests of the NoC: routing legality/minimality, and
+//! end-to-end delivery with payload integrity under random traffic.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use tenoc_noc::routing::{plan_injection, trace_path};
+use tenoc_noc::{
+    Coord, Interconnect, Mesh, Network, NetworkConfig, Packet, PacketClass, RoutingKind, VcLayout,
+};
+
+// Checkerboard routes between all legal endpoint pairs are minimal and
+// never turn at a half-router, for several mesh sizes and RNG seeds.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn checkerboard_routes_minimal_and_legal(
+        k in prop::sample::select(vec![4usize, 6, 8, 10]),
+        seed in any::<u64>(),
+        src_i in 0usize..100,
+        dst_i in 0usize..100,
+    ) {
+        let mesh = Mesh::checkerboard(k);
+        let layout = VcLayout::new(4, 2, true);
+        let src = src_i % mesh.len();
+        let dst = dst_i % mesh.len();
+        prop_assume!(src != dst);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let plan = plan_injection(RoutingKind::Checkerboard, &mesh, src, dst, &mut rng);
+        if plan.is_err() {
+            // Only full-to-full odd-parity pairs may be unroutable.
+            prop_assert!(!mesh.is_half(src) && !mesh.is_half(dst));
+            let s = mesh.coord(src);
+            let d = mesh.coord(dst);
+            prop_assert_eq!((s.x + s.y) % 2, 0);
+            prop_assert_eq!((d.x + d.y) % 2, 0);
+            return Ok(());
+        }
+        let path = trace_path(
+            RoutingKind::Checkerboard,
+            &layout,
+            &mesh,
+            src,
+            dst,
+            PacketClass::Request,
+            &mut rng,
+        )
+        .unwrap();
+        // Reaches the destination with minimal hops.
+        prop_assert_eq!(*path.last().unwrap(), dst);
+        prop_assert_eq!(
+            path.len() as u32 - 1,
+            mesh.coord(src).manhattan(mesh.coord(dst))
+        );
+        // Never turns at a half-router.
+        for w in path.windows(3) {
+            let (a, b, c) = (mesh.coord(w[0]), mesh.coord(w[1]), mesh.coord(w[2]));
+            let turns = (a.y == b.y) != (b.y == c.y);
+            if turns {
+                prop_assert!(!mesh.is_half(w[1]), "turn at half router {:?}", b);
+            }
+        }
+    }
+}
+
+// DOR XY routes are minimal for any pair on any full mesh.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn dor_routes_are_minimal(
+        k in prop::sample::select(vec![3usize, 5, 7]),
+        src_i in 0usize..60,
+        dst_i in 0usize..60,
+    ) {
+        let mesh = Mesh::all_full(k);
+        let layout = VcLayout::new(2, 2, false);
+        let src = src_i % mesh.len();
+        let dst = dst_i % mesh.len();
+        let mut rng = SmallRng::seed_from_u64(1);
+        for kind in [RoutingKind::DorXy, RoutingKind::DorYx] {
+            let path =
+                trace_path(kind, &layout, &mesh, src, dst, PacketClass::Reply, &mut rng).unwrap();
+            prop_assert_eq!(*path.last().unwrap(), dst);
+            prop_assert_eq!(path.len() as u32 - 1, mesh.coord(src).manhattan(mesh.coord(dst)));
+        }
+    }
+}
+
+// Every packet injected into a real network is eventually delivered
+// exactly once, with its tag intact, and the network drains completely.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    #[test]
+    fn random_traffic_is_delivered_exactly_once(
+        seed in any::<u64>(),
+        n_packets in 1usize..40,
+        checkerboard in any::<bool>(),
+    ) {
+        let cfg = if checkerboard {
+            NetworkConfig::checkerboard_mesh(6)
+        } else {
+            NetworkConfig::baseline_mesh(6)
+        };
+        let mcs = cfg.mc_nodes.clone();
+        let cores: Vec<usize> = (0..cfg.mesh.len()).filter(|n| !mcs.contains(n)).collect();
+        let mut net = Network::new(cfg);
+        let mut rng = SmallRng::seed_from_u64(seed);
+
+        use rand::Rng;
+        // Generate random core->MC requests and MC->core replies.
+        let mut pending: Vec<Packet> = (0..n_packets)
+            .map(|i| {
+                if rng.gen_bool(0.5) {
+                    let src = cores[rng.gen_range(0..cores.len())];
+                    let dst = mcs[rng.gen_range(0..mcs.len())];
+                    Packet::request(src, dst, if rng.gen_bool(0.8) { 8 } else { 64 }, i as u64)
+                } else {
+                    let src = mcs[rng.gen_range(0..mcs.len())];
+                    let dst = cores[rng.gen_range(0..cores.len())];
+                    Packet::reply(src, dst, 64, i as u64)
+                }
+            })
+            .collect();
+
+        let mut got = std::collections::HashMap::new();
+        for _ in 0..20_000 {
+            pending.retain(|&p| net.try_inject(p.header.src, p).is_err());
+            net.step();
+            for node in 0..36 {
+                while let Some(out) = net.pop(node) {
+                    prop_assert_eq!(out.header.dst, node);
+                    *got.entry(out.header.tag).or_insert(0u32) += 1;
+                }
+            }
+            if pending.is_empty() && net.in_flight() == 0 {
+                break;
+            }
+        }
+        prop_assert!(pending.is_empty(), "all packets must inject");
+        prop_assert_eq!(net.in_flight(), 0, "network must drain");
+        prop_assert_eq!(got.len(), n_packets, "each tag delivered");
+        prop_assert!(got.values().all(|&c| c == 1), "no duplicates");
+    }
+}
+
+// Flit conservation: flits injected equal flits ejected after draining.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+    #[test]
+    fn flit_conservation(seed in any::<u64>()) {
+        let cfg = NetworkConfig::checkerboard_mesh(6);
+        let mcs = cfg.mc_nodes.clone();
+        let cores: Vec<usize> = (0..36).filter(|n| !mcs.contains(n)).collect();
+        let mut net = Network::new(cfg);
+        use rand::Rng;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut pending: Vec<Packet> = (0..30)
+            .map(|i| {
+                let src = cores[rng.gen_range(0..cores.len())];
+                let dst = mcs[rng.gen_range(0..mcs.len())];
+                Packet::request(src, dst, 64, i)
+            })
+            .collect();
+        for _ in 0..20_000 {
+            pending.retain(|&p| net.try_inject(p.header.src, p).is_err());
+            net.step();
+            for node in 0..36 {
+                while net.pop(node).is_some() {}
+            }
+            if pending.is_empty() && net.in_flight() == 0 {
+                break;
+            }
+        }
+        let s = net.stats();
+        let injected: u64 = s.injected_flits_by_node.iter().sum();
+        let ejected: u64 = s.ejected_flits_by_node.iter().sum();
+        prop_assert_eq!(injected, ejected);
+        prop_assert_eq!(net.in_flight(), 0);
+    }
+}
+
+// The case-2 intermediate of checkerboard routing is always a
+// full-router inside the minimal quadrant, off the source row.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+    #[test]
+    fn case2_intermediate_invariants(seed in any::<u64>(), si in 0usize..36, di in 0usize..36) {
+        let mesh = Mesh::checkerboard(6);
+        prop_assume!(si != di);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        if let Ok((_, Some(via))) =
+            plan_injection(RoutingKind::Checkerboard, &mesh, si, di, &mut rng)
+        {
+            let s = mesh.coord(si);
+            let d = mesh.coord(di);
+            let v = mesh.coord(via);
+            prop_assert!(!mesh.is_half(via));
+            prop_assert!(v.x >= s.x.min(d.x) && v.x <= s.x.max(d.x));
+            prop_assert!(v.y >= s.y.min(d.y) && v.y <= s.y.max(d.y));
+            prop_assert_ne!(v.y, s.y);
+        }
+    }
+}
+
+// VC layouts partition without overlap for every (class, phase).
+proptest! {
+    #[test]
+    fn vc_layout_partitions(total in prop::sample::select(vec![4u8, 8, 12]), split in any::<bool>()) {
+        use tenoc_noc::{PacketClass, Phase};
+        let layout = VcLayout::new(total, 2, split);
+        let mut seen = vec![0u32; total as usize];
+        for class in PacketClass::ALL {
+            for phase in [Phase::Xy, Phase::Yx] {
+                let set = layout.set_for(class, phase);
+                for vc in set.iter() {
+                    prop_assert!(vc < total);
+                    seen[vc as usize] += 1;
+                }
+            }
+        }
+        // Every VC belongs to exactly one class (counted twice when phases
+        // are not split because both phases map to the full class set).
+        let expected = if split { 1 } else { 2 };
+        prop_assert!(seen.iter().all(|&c| c == expected));
+    }
+}
+
+// Hand-check a known unroutable pair to pin the error contract.
+#[test]
+fn known_unroutable_pair() {
+    let mesh = Mesh::checkerboard(6);
+    let src = mesh.node(Coord::new(0, 0));
+    let dst = mesh.node(Coord::new(3, 0));
+    // Same row: always routable even between full routers.
+    let mut rng = SmallRng::seed_from_u64(0);
+    assert!(plan_injection(RoutingKind::Checkerboard, &mesh, src, dst, &mut rng).is_ok());
+}

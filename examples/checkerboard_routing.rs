@@ -1,0 +1,57 @@
+//! Walk the checkerboard routing algorithm by hand: print the routers a
+//! packet visits on a checkerboard mesh, including a case-2 route through
+//! a random intermediate full-router.
+//!
+//! Run with: `cargo run --release --example checkerboard_routing`
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use tenoc::noc::routing::{plan_injection, trace_path};
+use tenoc::noc::{Coord, Mesh, PacketClass, RoutingKind, VcLayout};
+
+fn show(mesh: &Mesh, src: Coord, dst: Coord, rng: &mut SmallRng) {
+    let layout = VcLayout::new(4, 2, true);
+    let s = mesh.node(src);
+    let d = mesh.node(dst);
+    match plan_injection(RoutingKind::Checkerboard, mesh, s, d, rng) {
+        Err(e) => println!("{src} -> {dst}: UNROUTABLE ({e})"),
+        Ok((phase, via)) => {
+            let path =
+                trace_path(RoutingKind::Checkerboard, &layout, mesh, s, d, PacketClass::Request, rng)
+                    .expect("plan succeeded");
+            let coords: Vec<String> = path
+                .iter()
+                .map(|&n| {
+                    let c = mesh.coord(n);
+                    let tag = if mesh.is_half(n) { "h" } else { "F" };
+                    format!("{c}{tag}")
+                })
+                .collect();
+            let via_txt = via
+                .map(|v| format!(" via intermediate {}", mesh.coord(v)))
+                .unwrap_or_default();
+            println!("{src} -> {dst}: phase {phase:?}{via_txt}");
+            println!("    {}", coords.join(" -> "));
+        }
+    }
+}
+
+fn main() {
+    let mesh = Mesh::checkerboard(6);
+    let mut rng = SmallRng::seed_from_u64(42);
+    println!("6x6 checkerboard mesh (F = full-router, h = half-router)\n");
+
+    // Plain XY route (turn node is a full-router).
+    show(&mesh, Coord::new(0, 0), Coord::new(2, 3), &mut rng);
+    // Case 1: XY turn node is a half-router, so the packet goes YX.
+    show(&mesh, Coord::new(0, 0), Coord::new(1, 2), &mut rng);
+    // Case 2: half-to-half with both turn nodes half — routed YX to a
+    // random intermediate full-router, then XY.
+    show(&mesh, Coord::new(1, 0), Coord::new(3, 2), &mut rng);
+    show(&mesh, Coord::new(1, 0), Coord::new(3, 2), &mut rng);
+    // The documented impossible pair: full-to-full, odd parity.
+    show(&mesh, Coord::new(0, 0), Coord::new(1, 1), &mut rng);
+
+    println!("\nMC placement avoids the impossible pairs by putting all MCs on");
+    println!("half-routers: {:?}", mesh.checkerboard_mcs(8).iter().map(|&n| mesh.coord(n).to_string()).collect::<Vec<_>>());
+}

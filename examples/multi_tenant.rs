@@ -1,0 +1,32 @@
+//! Multi-tenant accelerator: run a latency-tolerant streaming kernel and a
+//! cache-friendly compute kernel *concurrently* on different cores, and
+//! see how the NoC design affects the mix.
+//!
+//! Run with: `cargo run --release --example multi_tenant`
+
+use tenoc::core::presets::Preset;
+use tenoc::core::system::{System, SystemConfig};
+use tenoc::workloads::by_name;
+
+fn main() {
+    let compute = by_name("AES").unwrap().scaled(0.3); // LL: compute-bound
+    let stream = by_name("KM").unwrap().scaled(0.3); // HH: bandwidth-bound
+
+    println!("mix: half the cores run {} (LL), half run {} (HH)\n", compute.name, stream.name);
+    println!("{:<24} {:>8} {:>12} {:>10}", "network", "IPC", "MC stall", "DRAM eff");
+    for preset in [Preset::BaselineTbDor, Preset::CpCr2pSingle, Preset::Perfect] {
+        let cfg = SystemConfig::with_icnt(preset.icnt(6));
+        let mut sys = System::new_mixed(cfg, &[compute.clone(), stream.clone()]);
+        let m = sys.run();
+        println!(
+            "{:<24} {:>8.1} {:>11.0}% {:>9.0}%",
+            preset.label(),
+            m.ipc,
+            m.mc_stall_fraction * 100.0,
+            m.dram_efficiency * 100.0
+        );
+    }
+    println!("\nthe streaming tenant saturates the reply path; the compute tenant");
+    println!("is insulated by its locality — the throughput-effective design lifts");
+    println!("the mix without growing the die");
+}

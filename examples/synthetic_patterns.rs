@@ -1,0 +1,52 @@
+//! Evaluate routing algorithms on classic adversarial traffic patterns —
+//! the methodology behind O1Turn and ROMM, which the paper's checkerboard
+//! routing builds on.
+//!
+//! Run with: `cargo run --release --example synthetic_patterns`
+
+use tenoc::noc::synthetic::{run_synthetic, SynthConfig, SynthPattern};
+use tenoc::noc::{NetworkConfig, RoutingKind, VcLayout};
+
+fn mesh(routing: RoutingKind) -> NetworkConfig {
+    let mut c = NetworkConfig::baseline_mesh(6);
+    c.routing = routing;
+    if routing.needs_phase_split() {
+        c.vcs = VcLayout::new(4, 2, true);
+    }
+    c
+}
+
+/// Highest unsaturated injection rate (packets/cycle/node).
+fn saturation(routing: RoutingKind, pattern: SynthPattern) -> f64 {
+    let mut last_ok = 0.0;
+    for i in 1..=20 {
+        let rate = i as f64 * 0.025;
+        let cfg = SynthConfig::new(mesh(routing), rate, pattern);
+        if run_synthetic(&cfg).saturated() {
+            break;
+        }
+        last_ok = rate;
+    }
+    last_ok
+}
+
+fn main() {
+    let routings =
+        [RoutingKind::DorXy, RoutingKind::O1Turn, RoutingKind::Romm];
+    println!("saturation throughput (packets/cycle/node), 6x6 mesh, 1-flit packets\n");
+    print!("{:>14}", "pattern");
+    for r in routings {
+        print!(" {r:>10?}");
+    }
+    println!();
+    for pattern in SynthPattern::ALL {
+        print!("{:>14}", format!("{pattern:?}"));
+        for r in routings {
+            print!(" {:>10.3}", saturation(r, pattern));
+        }
+        println!();
+    }
+    println!("\nDOR excels on benign patterns (neighbor, uniform) but struggles on");
+    println!("adversarial permutations; randomized O1Turn/ROMM trade a little");
+    println!("best-case throughput for worst-case robustness.");
+}

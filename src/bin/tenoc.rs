@@ -1,0 +1,212 @@
+//! `tenoc` — command-line front end for the simulator.
+//!
+//! ```text
+//! tenoc run --benchmark RD --preset thr-eff [--scale 0.2] [--json]
+//! tenoc suite --preset baseline [--scale 0.12] [--json]
+//! tenoc openloop --preset cp-cr-2p [--hotspot] [--rates 0.01..0.12]
+//! tenoc area
+//! tenoc classify [--scale 0.12]
+//! tenoc list
+//! ```
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+use tenoc::core::area::{throughput_effectiveness, AreaModel};
+use tenoc::core::experiments::{run_benchmark, run_suite, scale_from_env};
+use tenoc::core::presets::Preset;
+use tenoc::core::SweepReport;
+use tenoc::noc::openloop::{run_open_loop, OpenLoopConfig, TrafficPattern};
+use tenoc::workloads::{by_name, full_name, suite};
+
+fn preset_by_flag(s: &str) -> Option<Preset> {
+    Some(match s.to_ascii_lowercase().as_str() {
+        "baseline" | "tb-dor" => Preset::BaselineTbDor,
+        "2x" | "2x-bw" => Preset::TbDor2xBw,
+        "1cycle" | "1-cycle" => Preset::TbDor1Cycle,
+        "cp-dor" => Preset::CpDor2vc,
+        "cp-dor-4vc" => Preset::CpDor4vc,
+        "cp-cr" => Preset::CpCr4vc,
+        "double" => Preset::DoubleCpCr,
+        "thr-eff" | "te" => Preset::ThroughputEffective,
+        "cp-cr-2p" | "te-single" => Preset::CpCr2pSingle,
+        "perfect" | "ideal" => Preset::Perfect,
+        _ => return None,
+    })
+}
+
+fn parse_flags(args: &[String]) -> HashMap<String, String> {
+    let mut out = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(key) = args[i].strip_prefix("--") {
+            let value = if i + 1 < args.len() && !args[i + 1].starts_with("--") {
+                i += 1;
+                args[i].clone()
+            } else {
+                "true".to_owned()
+            };
+            out.insert(key.to_owned(), value);
+        }
+        i += 1;
+    }
+    out
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: tenoc <command> [flags]\n\
+         commands:\n\
+           run       --benchmark <ABBR> --preset <NAME> [--scale F] [--json]\n\
+           suite     --preset <NAME> [--scale F] [--json]\n\
+           openloop  --preset <NAME> [--hotspot] [--rate F]\n\
+           area      (Table VI summary)\n\
+           classify  [--scale F] (measured LL/LH/HH classes)\n\
+           list      (benchmarks and presets)\n\
+         presets: baseline 2x-bw 1-cycle cp-dor cp-dor-4vc cp-cr double thr-eff cp-cr-2p perfect"
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else { return usage() };
+    let flags = parse_flags(&args[1..]);
+    let scale = flags
+        .get("scale")
+        .and_then(|s| s.parse::<f64>().ok())
+        .unwrap_or_else(scale_from_env);
+
+    match cmd.as_str() {
+        "run" => {
+            let Some(bench) = flags.get("benchmark") else {
+                eprintln!("run: missing --benchmark");
+                return usage();
+            };
+            let Some(spec) = by_name(bench) else {
+                eprintln!("unknown benchmark {bench}; see `tenoc list`");
+                return ExitCode::FAILURE;
+            };
+            let Some(preset) = flags.get("preset").and_then(|p| preset_by_flag(p)) else {
+                eprintln!("run: missing or unknown --preset");
+                return usage();
+            };
+            let m = run_benchmark(preset, &spec, scale);
+            if flags.contains_key("json") {
+                println!("{}", serde_json_line(&spec.name, preset, &m));
+            } else {
+                println!(
+                    "{} on {}: IPC {:.1}, net latency {:.1} cyc, MC stall {:.0}%, DRAM eff {:.0}%",
+                    spec.name,
+                    preset.label(),
+                    m.ipc,
+                    m.avg_net_latency,
+                    m.mc_stall_fraction * 100.0,
+                    m.dram_efficiency * 100.0
+                );
+            }
+        }
+        "suite" => {
+            let Some(preset) = flags.get("preset").and_then(|p| preset_by_flag(p)) else {
+                eprintln!("suite: missing or unknown --preset");
+                return usage();
+            };
+            let results = run_suite(preset, scale);
+            let report = SweepReport::new(&preset.label(), scale, &results);
+            if flags.contains_key("json") {
+                println!("{}", report.to_json());
+            } else {
+                print!("{}", report.to_markdown());
+                println!("\nHM IPC: {:.1}", report.hm_ipc());
+            }
+        }
+        "openloop" => {
+            let Some(preset) = flags.get("preset").and_then(|p| preset_by_flag(p)) else {
+                eprintln!("openloop: missing or unknown --preset");
+                return usage();
+            };
+            let pattern = if flags.contains_key("hotspot") {
+                TrafficPattern::Hotspot { hot: 0, fraction: 0.2 }
+            } else {
+                TrafficPattern::UniformRandom
+            };
+            let net = match preset.icnt(6) {
+                tenoc::core::system::IcntConfig::Mesh(c) => c,
+                tenoc::core::system::IcntConfig::Double(c) => c,
+                _ => {
+                    eprintln!("openloop: pick a physical-network preset");
+                    return ExitCode::FAILURE;
+                }
+            };
+            if let Some(rate) = flags.get("rate").and_then(|r| r.parse::<f64>().ok()) {
+                let r = run_open_loop(&OpenLoopConfig::new(net, rate, pattern));
+                println!(
+                    "rate {rate}: latency {:.1} cyc, delivered {:.1}%{}",
+                    r.avg_latency,
+                    r.delivered_fraction * 100.0,
+                    if r.saturated() { " (saturated)" } else { "" }
+                );
+            } else {
+                println!("{:>6} {:>10}", "rate", "latency");
+                for i in 1..=12 {
+                    let rate = i as f64 * 0.01;
+                    let r = run_open_loop(&OpenLoopConfig::new(net.clone(), rate, pattern));
+                    if r.saturated() {
+                        println!("{rate:>6.2} {:>10}", "saturated");
+                        break;
+                    }
+                    println!("{rate:>6.2} {:>10.1}", r.avg_latency);
+                }
+            }
+        }
+        "area" => {
+            println!("{:>22} {:>12} {:>10} {:>12}", "design", "NoC [mm^2]", "chip", "IPC/mm^2@200");
+            for preset in Preset::NAMED {
+                let a = AreaModel::chip_area(&preset.icnt(6));
+                println!(
+                    "{:>22} {:>12.1} {:>10.1} {:>12.4}",
+                    preset.label(),
+                    a.noc(),
+                    a.total(),
+                    throughput_effectiveness(200.0, &a)
+                );
+            }
+        }
+        "classify" => {
+            let base = run_suite(Preset::BaselineTbDor, scale);
+            let perfect = run_suite(Preset::Perfect, scale);
+            println!("{:>6} {:>8} {:>9} {:>12}", "bench", "class", "speedup", "B/cyc/node");
+            for (b, p) in base.iter().zip(&perfect) {
+                println!(
+                    "{:>6} {:>8} {:>+8.1}% {:>12.2}",
+                    b.name,
+                    b.class.to_string(),
+                    (p.metrics.ipc / b.metrics.ipc - 1.0) * 100.0,
+                    p.metrics.accepted_flits_per_node * 16.0
+                );
+            }
+        }
+        "list" => {
+            println!("benchmarks (Table I):");
+            for spec in suite() {
+                println!(
+                    "  {:>4} [{}] {}",
+                    spec.name,
+                    spec.class,
+                    full_name(&spec.name).unwrap_or("")
+                );
+            }
+            println!("\npresets: baseline, 2x-bw, 1-cycle, cp-dor, cp-dor-4vc, cp-cr,");
+            println!("         double, thr-eff, cp-cr-2p, perfect");
+        }
+        _ => return usage(),
+    }
+    ExitCode::SUCCESS
+}
+
+fn serde_json_line(name: &str, preset: Preset, m: &tenoc::core::RunMetrics) -> String {
+    format!(
+        "{{\"benchmark\":\"{name}\",\"preset\":\"{}\",\"metrics\":{}}}",
+        preset.label(),
+        serde_json::to_string(m).expect("metrics are plain data")
+    )
+}

@@ -1,0 +1,25 @@
+//! # tenoc — throughput-effective on-chip networks for manycore accelerators
+//!
+//! Facade crate re-exporting the whole workspace: a full reproduction of
+//! *Throughput-Effective On-Chip Networks for Manycore Accelerators*
+//! (Bakhoda, Kim, Aamodt, MICRO 2010) as a family of Rust libraries.
+//!
+//! * [`noc`] — cycle-level NoC simulator (mesh, checkerboard half-routers,
+//!   checkerboard routing, multi-port MC routers, double networks).
+//! * [`dram`] — GDDR3 timing model with an FR-FCFS memory controller.
+//! * [`cache`] — set-associative caches, MSHRs, warp access coalescing.
+//! * [`simt`] — SIMT shader-core timing model with synthetic kernels.
+//! * [`workloads`] — the 31-benchmark synthetic suite mirroring Table I.
+//! * [`core`] — the closed-loop accelerator system simulator, configuration
+//!   presets for every paper design point, the ORION-calibrated area model
+//!   and the throughput-effectiveness analysis.
+//!
+//! See `README.md` for a quickstart and `EXPERIMENTS.md` for the
+//! paper-vs-measured record of every figure and table.
+
+pub use tenoc_cache as cache;
+pub use tenoc_core as core;
+pub use tenoc_dram as dram;
+pub use tenoc_noc as noc;
+pub use tenoc_simt as simt;
+pub use tenoc_workloads as workloads;

@@ -1,0 +1,86 @@
+//! Integration tests of the open-loop harness (Figure 21 shapes).
+
+use tenoc::noc::openloop::{run_open_loop, OpenLoopConfig, TrafficPattern};
+use tenoc::noc::{Mesh, NetworkConfig, Placement};
+
+fn quick(cfg: NetworkConfig, rate: f64, pattern: TrafficPattern) -> tenoc::noc::openloop::OpenLoopResult {
+    let mut ol = OpenLoopConfig::new(cfg, rate, pattern);
+    ol.warmup = 1_500;
+    ol.measure = 4_000;
+    ol.drain = 8_000;
+    run_open_loop(&ol)
+}
+
+/// Saturation throughput of a config under uniform many-to-few traffic:
+/// the highest rate of the sweep that is not saturated.
+fn saturation_rate(cfg: &NetworkConfig, pattern: TrafficPattern) -> f64 {
+    let mut last_ok = 0.0;
+    for i in 1..=14 {
+        let rate = i as f64 * 0.01;
+        let r = quick(cfg.clone(), rate, pattern);
+        if r.saturated() {
+            break;
+        }
+        last_ok = rate;
+    }
+    last_ok
+}
+
+#[test]
+fn two_x_bandwidth_raises_saturation() {
+    let tb = NetworkConfig::baseline_mesh(6);
+    let tb2 = NetworkConfig { channel_bytes: 32, ..tb.clone() };
+    let s1 = saturation_rate(&tb, TrafficPattern::UniformRandom);
+    let s2 = saturation_rate(&tb2, TrafficPattern::UniformRandom);
+    assert!(s2 > s1, "2x channels must raise saturation: {s2} vs {s1}");
+}
+
+#[test]
+fn multiport_raises_saturation_over_plain_checkerboard() {
+    let cp = NetworkConfig::checkerboard_mesh(6);
+    let mut cp2p = cp.clone();
+    cp2p.mc_inject_ports = 2;
+    let s1 = saturation_rate(&cp, TrafficPattern::UniformRandom);
+    let s2 = saturation_rate(&cp2p, TrafficPattern::UniformRandom);
+    assert!(
+        s2 >= s1,
+        "2 injection ports must not lower saturation throughput: {s2} vs {s1}"
+    );
+}
+
+#[test]
+fn hotspot_saturates_no_later_than_uniform() {
+    let tb = NetworkConfig::baseline_mesh(6);
+    let u = saturation_rate(&tb, TrafficPattern::UniformRandom);
+    let h = saturation_rate(&tb, TrafficPattern::Hotspot { hot: 0, fraction: 0.2 });
+    assert!(h <= u, "hotspot traffic must saturate no later: {h} vs {u}");
+}
+
+#[test]
+fn staggered_placement_lowers_low_load_latency() {
+    // CP placement shortens average core-MC distance vs top-bottom.
+    let tb = NetworkConfig::baseline_mesh(6);
+    let cp = {
+        let mesh = Mesh::all_full(6);
+        let mc_nodes = Mesh::checkerboard(6).mcs(Placement::Checkerboard, 8);
+        NetworkConfig { mesh, mc_nodes, ..tb.clone() }
+    };
+    let l_tb = quick(tb, 0.01, TrafficPattern::UniformRandom).avg_latency;
+    let l_cp = quick(cp, 0.01, TrafficPattern::UniformRandom).avg_latency;
+    assert!(
+        l_cp < l_tb * 1.05,
+        "staggered MCs must not lengthen low-load latency: {l_cp:.1} vs {l_tb:.1}"
+    );
+}
+
+#[test]
+fn latency_is_monotone_in_offered_load_below_saturation() {
+    let tb = NetworkConfig::baseline_mesh(6);
+    let mut prev = 0.0;
+    for rate in [0.005, 0.02, 0.04] {
+        let r = quick(tb.clone(), rate, TrafficPattern::UniformRandom);
+        assert!(!r.saturated(), "rate {rate} should be below saturation");
+        assert!(r.avg_latency >= prev * 0.95, "latency roughly monotone");
+        prev = r.avg_latency;
+    }
+}
