@@ -1,7 +1,9 @@
 //! Figure 7: speedup of a perfect interconnect over the baseline mesh,
 //! per benchmark, with the LL/LH/HH classification.
 
-use tenoc_bench::{experiments, header, hm_of_percent, hm_of_percent_class, print_speedup_rows, Preset};
+use tenoc_bench::{
+    experiments, header, hm_of_percent, hm_of_percent_class, print_speedup_rows, Preset,
+};
 use tenoc_workloads::TrafficClass;
 
 fn main() {

@@ -8,7 +8,10 @@ fn main() {
     let scale = experiments::scale_from_env();
     let base = experiments::run_suite(Preset::BaselineTbDor, scale);
     let fast = experiments::run_suite(Preset::TbDor1Cycle, scale);
-    println!("{:>6} {:>5} {:>10} {:>10} {:>7}", "bench", "class", "lat(4cyc)", "lat(1cyc)", "ratio");
+    println!(
+        "{:>6} {:>5} {:>10} {:>10} {:>7}",
+        "bench", "class", "lat(4cyc)", "lat(1cyc)", "ratio"
+    );
     let mut ratios = Vec::new();
     for (b, f) in base.iter().zip(&fast) {
         let ratio = f.metrics.avg_net_latency / b.metrics.avg_net_latency;

@@ -19,7 +19,10 @@ fn main() {
     let d4 = hm_of_percent(&rows4);
     let cr = hm_of_percent(&rowsc);
     println!("\nHM relative performance: DOR-4VC {:.1}%, CR-4VC {:.1}%", 100.0 + d4, 100.0 + cr);
-    println!("CR-4VC vs DOR-4VC (equal buffering): {:+.1}%", (100.0 + cr) / (100.0 + d4) * 100.0 - 100.0);
+    println!(
+        "CR-4VC vs DOR-4VC (equal buffering): {:+.1}%",
+        (100.0 + cr) / (100.0 + d4) * 100.0 - 100.0
+    );
     println!("paper: checkerboard routing loses ~1.1% on average while halving");
     println!("the crossbar area of half the routers");
 }

@@ -2,7 +2,9 @@
 //! placement + routing + double network + 2 injection ports at MCs)
 //! versus the baseline top-bottom DOR mesh.
 
-use tenoc_bench::{experiments, header, hm_of_percent, hm_of_percent_class, print_speedup_rows, Preset};
+use tenoc_bench::{
+    experiments, header, hm_of_percent, hm_of_percent_class, print_speedup_rows, Preset,
+};
 use tenoc_core::area::AreaModel;
 use tenoc_workloads::TrafficClass;
 

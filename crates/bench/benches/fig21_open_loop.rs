@@ -29,7 +29,8 @@ fn configs() -> Vec<(&'static str, NetworkConfig)> {
 fn sweep(pattern: TrafficPattern, title: &str) {
     println!("\n--- {title} ---");
     let quick = std::env::var("TENOC_FULL").map(|v| v == "1").unwrap_or(false);
-    let (warmup, measure, drain) = if quick { (10_000, 20_000, 30_000) } else { (2_000, 5_000, 10_000) };
+    let (warmup, measure, drain) =
+        if quick { (10_000, 20_000, 30_000) } else { (2_000, 5_000, 10_000) };
     let rates: Vec<f64> = (1..=12).map(|i| i as f64 * 0.01).collect();
     print!("{:>10}", "rate");
     for (name, _) in configs() {
@@ -63,10 +64,7 @@ fn sweep(pattern: TrafficPattern, title: &str) {
 }
 
 fn main() {
-    header(
-        "Figure 21",
-        "open-loop latency vs injection rate (1-flit requests, 4-flit replies)",
-    );
+    header("Figure 21", "open-loop latency vs injection rate (1-flit requests, 4-flit replies)");
     sweep(TrafficPattern::UniformRandom, "(a) uniform random many-to-few-to-many");
     sweep(
         TrafficPattern::Hotspot { hot: 0, fraction: 0.2 },

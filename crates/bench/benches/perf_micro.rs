@@ -23,7 +23,8 @@ fn bench_network_step(c: &mut Criterion) {
             net.step();
             for &mc in &mcs {
                 while let Some(req) = net.pop(mc) {
-                    let _ = net.try_inject(mc, Packet::reply(mc, req.header.src, 64, req.header.tag));
+                    let _ =
+                        net.try_inject(mc, Packet::reply(mc, req.header.src, 64, req.header.tag));
                 }
             }
             i += 1;

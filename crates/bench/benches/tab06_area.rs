@@ -9,7 +9,15 @@ fn main() {
     header("Table VI", "area estimations (mm^2), overheads relative to the GTX280 die");
     println!(
         "{:>16} {:>9} {:>8} {:>8} {:>9} {:>10} {:>9} {:>9} {:>10}",
-        "config", "xbar", "buffer", "alloc", "1 router", "router sum", "link sum", "% NoC", "total chip"
+        "config",
+        "xbar",
+        "buffer",
+        "alloc",
+        "1 router",
+        "router sum",
+        "link sum",
+        "% NoC",
+        "total chip"
     );
 
     let rows: Vec<(&str, Vec<RouterArea>)> = vec![
@@ -65,8 +73,10 @@ fn main() {
     println!("\npaper Table VI reference (router sum / total chip):");
     println!("  Baseline 69.00 / 576.0   2x-BW 263.0 / 790.9   CP-CR 59.20 / 566.2");
     println!("  Double CP-CR 29.74 / 536.7   Double CP-CR 2P 30.44 / 537.4");
-    println!("half-router / full-router area ratio: {:.2} (paper: 0.56)",
+    println!(
+        "half-router / full-router area ratio: {:.2} (paper: 0.56)",
         RouterArea::new(RouterKind::Half, 16, 4, 8, 1, 1).total()
-            / RouterArea::new(RouterKind::Full, 16, 4, 8, 1, 1).total());
+            / RouterArea::new(RouterKind::Full, 16, 4, 8, 1, 1).total()
+    );
     let _ = GTX280_AREA_MM2;
 }

@@ -184,7 +184,12 @@ impl Cache {
     pub fn new(cfg: CacheConfig) -> Self {
         cfg.validate().expect("invalid cache configuration");
         let empty = Line { tag: 0, valid: false, dirty: false, last_use: 0, filled_at: 0 };
-        Cache { sets: vec![vec![empty; cfg.assoc]; cfg.sets()], tick: 0, stats: CacheStats::default(), cfg }
+        Cache {
+            sets: vec![vec![empty; cfg.assoc]; cfg.sets()],
+            tick: 0,
+            stats: CacheStats::default(),
+            cfg,
+        }
     }
 
     /// The cache configuration.
@@ -253,37 +258,35 @@ impl Cache {
         let sets_count = self.cfg.sets() as u64;
         let line_bytes = self.cfg.line_bytes;
         let policy = self.cfg.replacement;
-        let way = self.sets[set]
-            .iter()
-            .position(|l| !l.valid)
-            .unwrap_or_else(|| match policy {
-                ReplacementPolicy::Lru => {
-                    self.sets[set]
-                        .iter()
-                        .enumerate()
-                        .min_by_key(|(_, l)| l.last_use)
-                        .expect("associativity > 0")
-                        .0
-                }
-                ReplacementPolicy::Fifo => {
-                    self.sets[set]
-                        .iter()
-                        .enumerate()
-                        .min_by_key(|(_, l)| l.filled_at)
-                        .expect("associativity > 0")
-                        .0
-                }
-                ReplacementPolicy::Random => {
-                    // SplitMix-style hash of the access counter: cheap,
-                    // uniform enough, and fully deterministic.
-                    let mut z = tick.wrapping_add(0x9e37_79b9_7f4a_7c15);
-                    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-                    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-                    ((z ^ (z >> 31)) % self.cfg.assoc as u64) as usize
-                }
-            });
+        let way = self.sets[set].iter().position(|l| !l.valid).unwrap_or_else(|| match policy {
+            ReplacementPolicy::Lru => {
+                self.sets[set]
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, l)| l.last_use)
+                    .expect("associativity > 0")
+                    .0
+            }
+            ReplacementPolicy::Fifo => {
+                self.sets[set]
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, l)| l.filled_at)
+                    .expect("associativity > 0")
+                    .0
+            }
+            ReplacementPolicy::Random => {
+                // SplitMix-style hash of the access counter: cheap,
+                // uniform enough, and fully deterministic.
+                let mut z = tick.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                ((z ^ (z >> 31)) % self.cfg.assoc as u64) as usize
+            }
+        });
         let victim = self.sets[set][way];
-        self.sets[set][way] = Line { tag, valid: true, dirty: false, last_use: tick, filled_at: tick };
+        self.sets[set][way] =
+            Line { tag, valid: true, dirty: false, last_use: tick, filled_at: tick };
         if victim.valid {
             if victim.dirty {
                 self.stats.writebacks += 1;

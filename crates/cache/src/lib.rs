@@ -35,6 +35,8 @@ pub mod cache;
 pub mod coalescer;
 pub mod mshr;
 
-pub use cache::{Access, Cache, CacheConfig, CacheStats, Eviction, LookupResult, ReplacementPolicy, WritePolicy};
+pub use cache::{
+    Access, Cache, CacheConfig, CacheStats, Eviction, LookupResult, ReplacementPolicy, WritePolicy,
+};
 pub use coalescer::coalesce;
 pub use mshr::{MshrOutcome, MshrTable};

@@ -2,7 +2,10 @@
 
 use proptest::prelude::*;
 use std::collections::HashSet;
-use tenoc_cache::{coalesce, Access, Cache, CacheConfig, LookupResult, MshrOutcome, MshrTable, ReplacementPolicy, WritePolicy};
+use tenoc_cache::{
+    coalesce, Access, Cache, CacheConfig, LookupResult, MshrOutcome, MshrTable, ReplacementPolicy,
+    WritePolicy,
+};
 
 fn tiny_cache() -> Cache {
     Cache::new(CacheConfig {

@@ -1,6 +1,6 @@
-use tenoc_noc::{Interconnect, Network, NetworkConfig, Packet, VcLayout};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use tenoc_noc::{Interconnect, Network, NetworkConfig, Packet, VcLayout};
 
 fn reply_saturation(cfg: NetworkConfig, flit_bytes_note: &str) {
     let mcs = cfg.mc_nodes.clone();
@@ -25,7 +25,8 @@ fn reply_saturation(cfg: NetworkConfig, flit_bytes_note: &str) {
     }
     let s = net.stats();
     let bytes: f64 = mcs.iter().map(|&m| s.injected_flits_by_node[m] as f64).sum::<f64>()
-        / cycles as f64 / mcs.len() as f64;
+        / cycles as f64
+        / mcs.len() as f64;
     println!("{flit_bytes_note}: {:.2} flits/c/MC", bytes);
 }
 

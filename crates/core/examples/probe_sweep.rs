@@ -9,8 +9,12 @@ fn main() {
     for r in &base {
         println!(
             "{:6} {:3} {:9.2} {:7.3} {:7.3} {:7.3}",
-            r.name, r.class.to_string(), r.metrics.ipc, r.metrics.mc_injection_rate,
-            r.metrics.mc_stall_fraction, r.metrics.dram_efficiency
+            r.name,
+            r.class.to_string(),
+            r.metrics.ipc,
+            r.metrics.mc_injection_rate,
+            r.metrics.mc_stall_fraction,
+            r.metrics.dram_efficiency
         );
     }
     for p in [
@@ -26,7 +30,11 @@ fn main() {
     ] {
         let r = run_suite(p, scale);
         let sp = speedups_percent(&base, &r);
-        print!("\n== {} (HM speedup {:+.1}%)\n   ", p.label(), (hm_speedup(&base, &r) - 1.0) * 100.0);
+        print!(
+            "\n== {} (HM speedup {:+.1}%)\n   ",
+            p.label(),
+            (hm_speedup(&base, &r) - 1.0) * 100.0
+        );
         for (name, _, s) in &sp {
             print!("{name}:{s:+.0}% ");
         }

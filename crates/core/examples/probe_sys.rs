@@ -8,9 +8,16 @@ fn main() {
         let cfg = SystemConfig::with_icnt(p.icnt(6));
         let mut sys = System::new(cfg, &spec);
         let m = sys.run();
-        println!("{:22} ipc={:6.2} mcinj={:.3}f stall={:.3} dramE={:.3} netlat={:.1} corelat(replay)={}",
-            p.label(), m.ipc, m.mc_injection_rate, m.mc_stall_fraction, m.dram_efficiency,
-            m.avg_net_latency, m.core_replays);
+        println!(
+            "{:22} ipc={:6.2} mcinj={:.3}f stall={:.3} dramE={:.3} netlat={:.1} corelat(replay)={}",
+            p.label(),
+            m.ipc,
+            m.mc_injection_rate,
+            m.mc_stall_fraction,
+            m.dram_efficiency,
+            m.avg_net_latency,
+            m.core_replays
+        );
     }
     // Depth-16 slice variant (equal per-port byte storage).
     let mut net = tenoc_noc::NetworkConfig::checkerboard_mesh(6);
@@ -18,5 +25,8 @@ fn main() {
     let cfg = SystemConfig::with_icnt(IcntConfig::Double(net));
     let mut sys = System::new(cfg, &spec);
     let m = sys.run();
-    println!("{:22} ipc={:6.2} mcinj={:.3}f stall={:.3}", "Double-d16", m.ipc, m.mc_injection_rate, m.mc_stall_fraction);
+    println!(
+        "{:22} ipc={:6.2} mcinj={:.3}f stall={:.3}",
+        "Double-d16", m.ipc, m.mc_injection_rate, m.mc_stall_fraction
+    );
 }

@@ -55,7 +55,14 @@ impl RouterArea {
     }
 
     /// Area of one router with the given geometry.
-    pub fn new(kind: RouterKind, channel_bytes: u32, vcs: u8, depth: usize, n_inj: usize, n_ej: usize) -> Self {
+    pub fn new(
+        kind: RouterKind,
+        channel_bytes: u32,
+        vcs: u8,
+        depth: usize,
+        n_inj: usize,
+        n_ej: usize,
+    ) -> Self {
         let w = channel_bytes as f64;
         let crosspoints = match kind {
             RouterKind::Full => ((4 + n_inj) * (3 + n_ej)) as f64,
@@ -120,7 +127,11 @@ impl AreaModel {
     /// extra ports (in a dedicated double network, extra injection ports
     /// matter on the reply slice and extra ejection ports on the request
     /// slice).
-    pub fn network_area(cfg: &NetworkConfig, mc_extra_inject: bool, mc_extra_eject: bool) -> ChipArea {
+    pub fn network_area(
+        cfg: &NetworkConfig,
+        mc_extra_inject: bool,
+        mc_extra_eject: bool,
+    ) -> ChipArea {
         let k = cfg.mesh.radix();
         let links = (4 * k * (k - 1)) as f64 * LINK_16B * cfg.channel_bytes as f64 / 16.0;
         let mut routers = 0.0;

@@ -89,7 +89,10 @@ pub fn scale_from_env() -> f64 {
 /// # Panics
 ///
 /// Panics if the two sweeps cover different benchmarks.
-pub fn speedups_percent(base: &[SuiteResult], new: &[SuiteResult]) -> Vec<(String, TrafficClass, f64)> {
+pub fn speedups_percent(
+    base: &[SuiteResult],
+    new: &[SuiteResult],
+) -> Vec<(String, TrafficClass, f64)> {
     assert_eq!(base.len(), new.len(), "mismatched sweeps");
     base.iter()
         .zip(new)
@@ -115,11 +118,8 @@ pub fn hm_ipc_class(results: &[SuiteResult], class: TrafficClass) -> f64 {
 /// Harmonic mean of per-benchmark speedup ratios (as the paper reports
 /// "harmonic mean speedup").
 pub fn hm_speedup(base: &[SuiteResult], new: &[SuiteResult]) -> f64 {
-    let ratios: Vec<f64> = base
-        .iter()
-        .zip(new)
-        .map(|(b, n)| n.metrics.ipc / b.metrics.ipc)
-        .collect();
+    let ratios: Vec<f64> =
+        base.iter().zip(new).map(|(b, n)| n.metrics.ipc / b.metrics.ipc).collect();
     crate::metrics::harmonic_mean(ratios)
 }
 
@@ -151,10 +151,7 @@ mod tests {
         };
         let sp_ll = sp(&ll);
         let sp_hh = sp(&hh);
-        assert!(
-            sp_hh > sp_ll,
-            "HH speedup ({sp_hh:.2}) must exceed LL speedup ({sp_ll:.2})"
-        );
+        assert!(sp_hh > sp_ll, "HH speedup ({sp_hh:.2}) must exceed LL speedup ({sp_ll:.2})");
         assert!(sp_ll < 1.35, "LL must be nearly network-insensitive: {sp_ll:.2}");
     }
 

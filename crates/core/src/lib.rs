@@ -46,6 +46,6 @@ pub use clock::{ClockConfig, Clocks, Domain};
 pub use mc::{McConfig, McNode, McRequest, McStats, Reply};
 pub use metrics::{arithmetic_mean, harmonic_mean, RunMetrics};
 pub use power::{HopEnergy, PowerModel};
-pub use report::SweepReport;
 pub use presets::Preset;
+pub use report::SweepReport;
 pub use system::{IcntConfig, System, SystemConfig};

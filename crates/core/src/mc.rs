@@ -200,8 +200,10 @@ impl McNode {
         }
         match self.l2.access(req.line_addr, Access::Read) {
             LookupResult::Hit => {
-                self.hit_delay
-                    .push_back((now + self.cfg.l2_latency, Reply { dst: req.src, tag: req.line_addr }));
+                self.hit_delay.push_back((
+                    now + self.cfg.l2_latency,
+                    Reply { dst: req.src, tag: req.line_addr },
+                ));
                 self.in_q.pop_front();
             }
             LookupResult::Miss => {

@@ -90,16 +90,13 @@ impl Preset {
         let base = NetworkConfig::baseline_mesh(k);
         match self {
             Preset::BaselineTbDor => IcntConfig::Mesh(base),
-            Preset::TbDor2xBw => {
-                IcntConfig::Mesh(NetworkConfig { channel_bytes: 32, ..base })
-            }
-            Preset::TbDor1Cycle => {
-                IcntConfig::Mesh(NetworkConfig { router_stages: 1, ..base })
-            }
+            Preset::TbDor2xBw => IcntConfig::Mesh(NetworkConfig { channel_bytes: 32, ..base }),
+            Preset::TbDor1Cycle => IcntConfig::Mesh(NetworkConfig { router_stages: 1, ..base }),
             Preset::CpDor2vc => {
                 // Staggered MC placement on a full-router mesh.
                 let mesh = Mesh::all_full(k);
-                let mc_nodes = Mesh::checkerboard(k).mcs(Placement::Checkerboard, base.mc_nodes.len());
+                let mc_nodes =
+                    Mesh::checkerboard(k).mcs(Placement::Checkerboard, base.mc_nodes.len());
                 IcntConfig::Mesh(NetworkConfig { mesh, mc_nodes, ..base })
             }
             Preset::CpDor4vc => {

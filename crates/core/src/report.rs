@@ -104,11 +104,8 @@ impl SweepReport {
         };
         let mut path = std::path::PathBuf::from(dir);
         std::fs::create_dir_all(&path)?;
-        let safe: String = self
-            .design
-            .chars()
-            .map(|c| if c.is_alphanumeric() { c } else { '_' })
-            .collect();
+        let safe: String =
+            self.design.chars().map(|c| if c.is_alphanumeric() { c } else { '_' }).collect();
         path.push(format!("{safe}.json"));
         std::fs::write(&path, self.to_json())?;
         Ok(Some(path))

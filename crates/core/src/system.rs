@@ -48,6 +48,11 @@ impl IcntConfig {
     }
 
     fn build(&self) -> Box<dyn Interconnect> {
+        // Debug builds statically verify every network configuration they
+        // are about to simulate: the auditor runs tenoc-verify's channel-
+        // dependency-graph analysis inside `Network::new` and panics with
+        // the report on any violation. Release builds skip the check.
+        tenoc_verify::install_debug_auditor();
         match self {
             IcntConfig::Mesh(c) => Box::new(Network::new(c.clone())),
             IcntConfig::Double(c) => Box::new(DoubleNetwork::from_single(c)),
@@ -146,10 +151,8 @@ impl System {
             (0..net.mesh.len()).filter(|n| !mc_nodes.contains(n)).collect();
         // With concentration c, node_list entry i hosts cores
         // i*c .. (i+1)*c; `core_nodes[j]` is core j's terminal.
-        let core_nodes: Vec<NodeId> = node_list
-            .iter()
-            .flat_map(|&n| std::iter::repeat_n(n, cfg.cores_per_node))
-            .collect();
+        let core_nodes: Vec<NodeId> =
+            node_list.iter().flat_map(|&n| std::iter::repeat_n(n, cfg.cores_per_node)).collect();
         let cores = core_nodes
             .iter()
             .enumerate()
@@ -182,7 +185,9 @@ impl System {
     }
 
     fn all_done(&self) -> bool {
-        self.cores.iter().all(|c| c.done() && c.pending_requests() == 0 && c.outstanding_fetches() == 0)
+        self.cores
+            .iter()
+            .all(|c| c.done() && c.pending_requests() == 0 && c.outstanding_fetches() == 0)
             && self.staged.iter().all(Option::is_none)
             && self.staged_mc.iter().all(Option::is_none)
             && self.icnt.in_flight() == 0
@@ -222,7 +227,11 @@ impl System {
                         break;
                     };
                     let mc = self.mc_nodes[self.mc_index_of(line_addr)];
-                    debug_assert_eq!(line_addr >> CORE_SHIFT, 0, "address fits below the core-id bits");
+                    debug_assert_eq!(
+                        line_addr >> CORE_SHIFT,
+                        0,
+                        "address fits below the core-id bits"
+                    );
                     let mut tag = line_addr | ((i as u64) << CORE_SHIFT);
                     if is_write {
                         tag |= WRITE_BIT;
@@ -352,8 +361,8 @@ impl System {
             self.mc_nodes.iter().map(|&n| net.injected_flits_by_node[n]).sum();
         let core_inject_flits: u64 =
             self.core_nodes.iter().map(|&n| net.injected_flits_by_node[n]).sum();
-        let stall = self.mcs.iter().map(|m| m.stall_fraction()).sum::<f64>()
-            / self.mcs.len().max(1) as f64;
+        let stall =
+            self.mcs.iter().map(|m| m.stall_fraction()).sum::<f64>() / self.mcs.len().max(1) as f64;
         let dram_eff = self.mcs.iter().map(|m| m.dram_stats().efficiency()).sum::<f64>()
             / self.mcs.len().max(1) as f64;
         let l2_hits: u64 = self.mcs.iter().map(|m| m.l2_stats().read_hits).sum();
@@ -456,12 +465,7 @@ mod tests {
             System::new(cfg, &spec).run()
         };
         assert!(mesh.completed && perfect.completed);
-        assert!(
-            perfect.ipc >= mesh.ipc,
-            "perfect {} must beat mesh {}",
-            perfect.ipc,
-            mesh.ipc
-        );
+        assert!(perfect.ipc >= mesh.ipc, "perfect {} must beat mesh {}", perfect.ipc, mesh.ipc);
     }
 
     #[test]
@@ -507,7 +511,8 @@ mod tests {
             System::new(cfg, &spec).run()
         };
         let conc = {
-            let mut cfg = SystemConfig::with_icnt(IcntConfig::Mesh(NetworkConfig::baseline_mesh(6)));
+            let mut cfg =
+                SystemConfig::with_icnt(IcntConfig::Mesh(NetworkConfig::baseline_mesh(6)));
             cfg.cores_per_node = 2;
             System::new(cfg, &spec).run()
         };

@@ -163,7 +163,11 @@ impl MemoryController {
     /// # Panics
     ///
     /// Panics if the timing parameters are inconsistent.
-    pub fn with_policies(cfg: DramConfig, policy: SchedulingPolicy, page_policy: PagePolicy) -> Self {
+    pub fn with_policies(
+        cfg: DramConfig,
+        policy: SchedulingPolicy,
+        page_policy: PagePolicy,
+    ) -> Self {
         cfg.timings.validate().expect("invalid DRAM timings");
         MemoryController {
             policy,
@@ -237,10 +241,8 @@ impl MemoryController {
         // Refresh: block the whole channel for tRFC every tREFI. Issued
         // lazily once all banks can precharge (closed rows reopen after).
         if self.cfg.timings.t_refi > 0 && now >= self.next_refresh {
-            let all_idle = self
-                .banks
-                .iter()
-                .all(|b| b.open_row().is_none() || b.can_precharge(now));
+            let all_idle =
+                self.banks.iter().all(|b| b.open_row().is_none() || b.can_precharge(now));
             if all_idle {
                 for b in &mut self.banks {
                     if b.open_row().is_some() {
@@ -325,10 +327,9 @@ impl MemoryController {
                 Some(open) => {
                     open != self.cfg.row_of(r.addr)
                         && bank.can_precharge(now)
-                        && !self
-                            .queue
-                            .iter()
-                            .any(|q| self.cfg.bank_of(q.addr) == b && self.cfg.row_of(q.addr) == open)
+                        && !self.queue.iter().any(|q| {
+                            self.cfg.bank_of(q.addr) == b && self.cfg.row_of(q.addr) == open
+                        })
                 }
                 None => false,
             }
@@ -426,8 +427,8 @@ mod tests {
         let cfg = DramConfig::gddr3();
         let mut mc = MemoryController::new(cfg);
         let row_stride = cfg.row_bytes * cfg.banks as u64; // same bank, next row
-        // Oldest request to row 0 (bank 0), then a conflict to row 1
-        // (bank 0), then another hit to row 0.
+                                                           // Oldest request to row 0 (bank 0), then a conflict to row 1
+                                                           // (bank 0), then another hit to row 0.
         mc.push(DramRequest::read(0, 0, 0)).unwrap();
         mc.push(DramRequest::read(row_stride, 1, 0)).unwrap();
         mc.push(DramRequest::read(64, 2, 0)).unwrap();
@@ -453,8 +454,9 @@ mod tests {
     fn frfcfs_beats_fcfs_on_interleaved_rows() {
         let cfg = DramConfig::gddr3();
         let row_stride = cfg.row_bytes * cfg.banks as u64;
-        let pattern: Vec<u64> =
-            (0..16).map(|i| if i % 2 == 0 { (i / 2) * 64 } else { row_stride + (i / 2) * 64 }).collect();
+        let pattern: Vec<u64> = (0..16)
+            .map(|i| if i % 2 == 0 { (i / 2) * 64 } else { row_stride + (i / 2) * 64 })
+            .collect();
         let mut frf = MemoryController::new(cfg);
         let mut fcfs = MemoryController::with_policy(cfg, SchedulingPolicy::Fcfs);
         for (i, &a) in pattern.iter().enumerate() {
@@ -509,7 +511,9 @@ mod tests {
         // Keep the queue full of same-row reads for a while.
         let mut pushed = 0u64;
         for now in 0..2000u64 {
-            while pushed < 400 && mc.push(DramRequest::read((pushed % 32) * 64, pushed, now)).is_ok() {
+            while pushed < 400
+                && mc.push(DramRequest::read((pushed % 32) * 64, pushed, now)).is_ok()
+            {
                 pushed += 1;
             }
             mc.step(now);

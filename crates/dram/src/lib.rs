@@ -40,5 +40,7 @@ pub mod controller;
 pub mod timing;
 
 pub use bank::Bank;
-pub use controller::{Completion, DramRequest, DramStats, MemoryController, PagePolicy, SchedulingPolicy};
+pub use controller::{
+    Completion, DramRequest, DramStats, MemoryController, PagePolicy, SchedulingPolicy,
+};
 pub use timing::{DramConfig, GddrTimings};

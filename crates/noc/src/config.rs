@@ -78,7 +78,10 @@ impl VcLayout {
     /// `split_phases` is set).
     pub fn new(total: u8, classes: u8, split_phases: bool) -> Self {
         assert!(classes == 1 || classes == 2, "classes must be 1 or 2");
-        assert!(total >= classes && total.is_multiple_of(classes), "VCs must divide evenly by class");
+        assert!(
+            total >= classes && total.is_multiple_of(classes),
+            "VCs must divide evenly by class"
+        );
         if split_phases {
             let per_class = total / classes;
             assert!(
@@ -148,11 +151,7 @@ impl RouterTiming {
             1 => RouterTiming { rc_delay: 0, same_cycle_sa: true, st_delay: 0 },
             2 => RouterTiming { rc_delay: 0, same_cycle_sa: true, st_delay: 1 },
             3 => RouterTiming { rc_delay: 0, same_cycle_sa: false, st_delay: 1 },
-            n => RouterTiming {
-                rc_delay: (n - 3) as u64,
-                same_cycle_sa: false,
-                st_delay: 1,
-            },
+            n => RouterTiming { rc_delay: (n - 3) as u64, same_cycle_sa: false, st_delay: 1 },
         }
     }
 }
@@ -263,9 +262,7 @@ impl NetworkConfig {
     pub fn timing(&self, node: NodeId) -> RouterTiming {
         match self.mesh.kind(node) {
             crate::topology::RouterKind::Full => RouterTiming::from_stages(self.router_stages),
-            crate::topology::RouterKind::Half => {
-                RouterTiming::from_stages(self.half_router_stages)
-            }
+            crate::topology::RouterKind::Half => RouterTiming::from_stages(self.half_router_stages),
         }
     }
 
@@ -304,6 +301,35 @@ impl NetworkConfig {
             }
         }
         Ok(())
+    }
+
+    /// The per-subnetwork configuration obtained by channel-slicing this
+    /// network in two (paper Section IV-C): half the channel width, doubled
+    /// terminal ports (preserving terminal interface bandwidth), and a
+    /// single-class VC layout — each slice carries one protocol class, so
+    /// request/reply separation comes from physical disjointness instead of
+    /// VC partitioning.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channel_bytes` is odd.
+    pub fn slice(&self) -> NetworkConfig {
+        assert!(self.channel_bytes.is_multiple_of(2), "cannot slice an odd channel width");
+        let mut sub = self.clone();
+        sub.channel_bytes = self.channel_bytes / 2;
+        let factor = (self.channel_bytes / sub.channel_bytes) as usize;
+        sub.mc_inject_ports = self.mc_inject_ports * factor;
+        sub.mc_eject_ports = self.mc_eject_ports * factor;
+        sub.core_inject_ports = self.core_inject_ports * factor;
+        sub.core_eject_ports = self.core_eject_ports * factor;
+        // Each slice keeps the full VC complement of the single network it
+        // replaces. Halving the per-slice VC count (the strictest reading
+        // of the paper's constant-total-buffering description) costs
+        // another ~8% of saturated reply throughput in this fabric; the
+        // sensitivity is quantified by the `abl_design_choices` bench.
+        let per_class = self.vcs.total.max(if self.vcs.split_phases { 2 } else { 1 });
+        sub.vcs = VcLayout::new(per_class, 1, self.vcs.split_phases);
+        sub
     }
 
     /// Convenience: the MC placement strategy corresponding to the current

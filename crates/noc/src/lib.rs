@@ -46,6 +46,7 @@
 #![warn(missing_docs)]
 
 pub mod arbiter;
+pub mod audit;
 pub mod buffer;
 pub mod channel;
 pub mod config;

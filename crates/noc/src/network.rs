@@ -53,11 +53,13 @@ impl Network {
     /// Panics if `cfg.validate()` fails.
     pub fn new(cfg: NetworkConfig) -> Self {
         cfg.validate().expect("invalid network configuration");
+        crate::audit::audit(&cfg);
         let n = cfg.mesh.len();
         let routers = (0..n)
             .map(|node| {
-                let dir_exists =
-                    std::array::from_fn(|i| cfg.mesh.neighbor(node, Direction::from_index(i)).is_some());
+                let dir_exists = std::array::from_fn(|i| {
+                    cfg.mesh.neighbor(node, Direction::from_index(i)).is_some()
+                });
                 Router::with_allocator(
                     node,
                     cfg.mesh.kind(node),
@@ -244,14 +246,9 @@ impl Interconnect for Network {
         self.ni_cursor[node] = (port + 1) % ports;
 
         let hdr = &mut packet.header;
-        let (phase, via) = routing::plan_injection(
-            self.cfg.routing,
-            &self.cfg.mesh,
-            node,
-            hdr.dst,
-            &mut self.rng,
-        )
-        .expect("workload sent a packet between unroutable checkerboard endpoints");
+        let (phase, via) =
+            routing::plan_injection(self.cfg.routing, &self.cfg.mesh, node, hdr.dst, &mut self.rng)
+                .expect("workload sent a packet between unroutable checkerboard endpoints");
         hdr.src = node;
         hdr.phase = phase;
         hdr.via = via;
@@ -350,22 +347,7 @@ impl DoubleNetwork {
     ///
     /// Panics if the single network's channel width is not even.
     pub fn from_single(cfg: &NetworkConfig) -> Self {
-        assert!(cfg.channel_bytes.is_multiple_of(2), "cannot slice an odd channel width");
-        let mut sub = cfg.clone();
-        sub.channel_bytes = cfg.channel_bytes / 2;
-        let factor = (cfg.channel_bytes / sub.channel_bytes) as usize;
-        sub.mc_inject_ports = cfg.mc_inject_ports * factor;
-        sub.mc_eject_ports = cfg.mc_eject_ports * factor;
-        sub.core_inject_ports = cfg.core_inject_ports * factor;
-        sub.core_eject_ports = cfg.core_eject_ports * factor;
-        // Each slice keeps the full VC complement of the single network it
-        // replaces. Halving the per-slice VC count (the strictest reading
-        // of the paper's constant-total-buffering description) costs
-        // another ~8% of saturated reply throughput in this fabric; the
-        // sensitivity is quantified by the `abl_design_choices` bench.
-        let per_class = cfg.vcs.total.max(if cfg.vcs.split_phases { 2 } else { 1 });
-        sub.vcs = crate::config::VcLayout::new(per_class, 1, cfg.vcs.split_phases);
-        DoubleNetwork::new(sub)
+        DoubleNetwork::new(cfg.slice())
     }
 
     /// The request subnetwork.
@@ -505,8 +487,7 @@ mod tests {
     fn checkerboard_core_to_mc_traffic() {
         let cfg = NetworkConfig::checkerboard_mesh(6);
         let mcs = cfg.mc_nodes.clone();
-        let cores: Vec<NodeId> =
-            (0..cfg.mesh.len()).filter(|n| !mcs.contains(n)).collect();
+        let cores: Vec<NodeId> = (0..cfg.mesh.len()).filter(|n| !mcs.contains(n)).collect();
         let mut net = Network::new(cfg);
         let mut expected = 0u64;
         for (i, &core) in cores.iter().enumerate() {
@@ -533,8 +514,7 @@ mod tests {
     fn checkerboard_mc_to_core_replies() {
         let cfg = NetworkConfig::checkerboard_mesh(6);
         let mcs = cfg.mc_nodes.clone();
-        let cores: Vec<NodeId> =
-            (0..cfg.mesh.len()).filter(|n| !mcs.contains(n)).collect();
+        let cores: Vec<NodeId> = (0..cfg.mesh.len()).filter(|n| !mcs.contains(n)).collect();
         let mut net = Network::new(cfg);
         for (i, &core) in cores.iter().enumerate() {
             let mc = mcs[i % mcs.len()];
@@ -600,9 +580,7 @@ mod tests {
             sources.iter().map(|&s| Packet::request(s, dst, 64, s as u64)).collect();
         let mut delivered = 0;
         for _ in 0..5000 {
-            pending.retain(|&p| {
-                net.try_inject(p.header.src, p).is_err()
-            });
+            pending.retain(|&p| net.try_inject(p.header.src, p).is_err());
             net.step();
             while let Some(p) = net.pop(dst) {
                 assert_eq!(p.header.tag, p.header.src as u64);
@@ -674,8 +652,11 @@ mod tests {
         let cfg = NetworkConfig::baseline_mesh(6);
         let mut net = Network::new(cfg);
         let mut delivered = Vec::new();
-        let mut pending =
-            vec![Packet::request(0, 4, 64, 1), Packet::request(0, 4, 64, 2), Packet::request(0, 4, 64, 3)];
+        let mut pending = vec![
+            Packet::request(0, 4, 64, 1),
+            Packet::request(0, 4, 64, 2),
+            Packet::request(0, 4, 64, 3),
+        ];
         for _ in 0..1000 {
             pending.retain(|&p| net.try_inject(0, p).is_err());
             net.step();

@@ -198,7 +198,11 @@ pub fn run_open_loop(cfg: &OpenLoopConfig) -> OpenLoopResult {
     OpenLoopResult {
         offered: cfg.injection_rate,
         accepted: ejected_flits_window as f64 / cfg.measure as f64 / nodes as f64,
-        avg_latency: if total_cnt == 0 { f64::INFINITY } else { total_lat as f64 / total_cnt as f64 },
+        avg_latency: if total_cnt == 0 {
+            f64::INFINITY
+        } else {
+            total_lat as f64 / total_cnt as f64
+        },
         avg_request_latency: if lat_cnt[0] == 0 {
             f64::INFINITY
         } else {

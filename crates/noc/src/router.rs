@@ -241,7 +241,8 @@ impl Router {
                     self.node
                 );
                 let arrival = *arrival;
-                let dec = routing::next_hop(ctx.routing, &ctx.layout, ctx.mesh, self.node, &mut flit.hdr);
+                let dec =
+                    routing::next_hop(ctx.routing, &ctx.layout, ctx.mesh, self.node, &mut flit.hdr);
                 let out_port = match dec.out {
                     OutPort::Dir(d) => {
                         assert!(
@@ -332,7 +333,13 @@ impl Router {
 
     /// Picks one candidate downstream VC for a waiting input VC, rotating
     /// through the allowed set with the VC's request cursor.
-    fn pick_candidate_vc(&self, _in_port: usize, _vc: u8, out_port: usize, vcs: VcSet) -> Option<u8> {
+    fn pick_candidate_vc(
+        &self,
+        _in_port: usize,
+        _vc: u8,
+        out_port: usize,
+        vcs: VcSet,
+    ) -> Option<u8> {
         let cursor = self.inputs[_in_port].vc(_vc).vc_request_cursor;
         let n = vcs.count as usize;
         for off in 0..n {
@@ -428,7 +435,8 @@ impl Router {
         for (in_port, slot) in nominee.iter_mut().enumerate() {
             let pick = self.sa_in_arb[in_port].peek(|vc| self.sa_ready(in_port, vc as u8, now));
             if let Some(vc) = pick {
-                if let VcState::Active { out_port, out_vc, .. } = self.inputs[in_port].vc(vc as u8).state
+                if let VcState::Active { out_port, out_vc, .. } =
+                    self.inputs[in_port].vc(vc as u8).state
                 {
                     *slot = Some((vc as u8, out_port, out_vc));
                 }
@@ -436,7 +444,8 @@ impl Router {
         }
         // Phase 2: each output port picks one nominating input port.
         for op in 0..n_out {
-            let winner = self.sa_out_arb[op].peek(|ip| matches!(nominee[ip], Some((_, p, _)) if p == op));
+            let winner =
+                self.sa_out_arb[op].peek(|ip| matches!(nominee[ip], Some((_, p, _)) if p == op));
             let Some(ip) = winner else { continue };
             let (vc, _, out_vc) = nominee[ip].expect("winner nominated");
             // Accept: advance both pointers (iSLIP), move the flit.
@@ -486,7 +495,8 @@ mod tests {
     }
 
     fn make_router(node: NodeId, mesh: &Mesh, stages: u32) -> Router {
-        let dir_exists = std::array::from_fn(|i| mesh.neighbor(node, Direction::from_index(i)).is_some());
+        let dir_exists =
+            std::array::from_fn(|i| mesh.neighbor(node, Direction::from_index(i)).is_some());
         Router::new(
             node,
             mesh.kind(node),
@@ -687,7 +697,12 @@ mod tests {
             let mut p = Packet::request(0, node, 8, 0);
             p.header.flits = 1;
             p.header.id = id;
-            r.accept_flit(Direction::North.index(), (id % 2) as u8, Flit { hdr: p.header, seq: 0 }, id);
+            r.accept_flit(
+                Direction::North.index(),
+                (id % 2) as u8,
+                Flit { hdr: p.header, seq: 0 },
+                id,
+            );
             out.clear();
             r.step(id, &c, &mut out);
             for &(op, _, _) in &out.flits {

@@ -113,61 +113,90 @@ pub fn plan_injection<R: Rng + ?Sized>(
     dst: NodeId,
     rng: &mut R,
 ) -> Result<(Phase, Option<NodeId>), UnroutableError> {
+    let options = plan_options(kind, mesh, src, dst)?;
+    if options.len() == 1 {
+        // Deterministic routes (DOR, straight lines, checkerboard cases
+        // 0/1) must not consume randomness.
+        return Ok(options[0]);
+    }
+    Ok(options[rng.gen_range(0..options.len())])
+}
+
+/// Enumerates every `(phase, via)` plan [`plan_injection`] can produce for
+/// this pair, in a deterministic order. `plan_injection` draws uniformly
+/// from this list, so static analyses that check each entry (e.g. the
+/// channel-dependency-graph verifier) cover the simulator's routing
+/// function exhaustively *by construction*.
+///
+/// The list may contain repeated entries: repetitions carry the
+/// probability weight of the original per-dimension draws (ROMM picks its
+/// intermediate per coordinate, and several coordinates can degenerate to
+/// the same single-phase plan).
+///
+/// # Errors
+///
+/// Returns [`UnroutableError`] for full-to-full checkerboard pairs with
+/// odd coordinate parity (see the type's documentation).
+pub fn plan_options(
+    kind: RoutingKind,
+    mesh: &Mesh,
+    src: NodeId,
+    dst: NodeId,
+) -> Result<Vec<(Phase, Option<NodeId>)>, UnroutableError> {
     match kind {
-        RoutingKind::DorXy => Ok((Phase::Xy, None)),
-        RoutingKind::DorYx => Ok((Phase::Yx, None)),
-        RoutingKind::Checkerboard => plan_checkerboard(mesh, src, dst, rng),
-        RoutingKind::O1Turn => {
-            Ok((if rng.gen_bool(0.5) { Phase::Xy } else { Phase::Yx }, None))
-        }
-        RoutingKind::Romm => plan_romm(mesh, src, dst, rng),
+        RoutingKind::DorXy => Ok(vec![(Phase::Xy, None)]),
+        RoutingKind::DorYx => Ok(vec![(Phase::Yx, None)]),
+        RoutingKind::O1Turn => Ok(vec![(Phase::Xy, None), (Phase::Yx, None)]),
+        RoutingKind::Romm => Ok(romm_options(mesh, src, dst)),
+        RoutingKind::Checkerboard => checkerboard_options(mesh, src, dst),
     }
 }
 
 /// Two-phase ROMM: a uniformly random intermediate inside the minimal
 /// quadrant; YX to it, XY from it. Degenerates to plain XY when source and
 /// destination share a row or column.
-fn plan_romm<R: Rng + ?Sized>(
-    mesh: &Mesh,
-    src: NodeId,
-    dst: NodeId,
-    rng: &mut R,
-) -> Result<(Phase, Option<NodeId>), UnroutableError> {
+fn romm_options(mesh: &Mesh, src: NodeId, dst: NodeId) -> Vec<(Phase, Option<NodeId>)> {
     let s = mesh.coord(src);
     let d = mesh.coord(dst);
     if s.same_row(d) || s.same_col(d) {
-        return Ok((Phase::Xy, None));
+        return vec![(Phase::Xy, None)];
     }
-    let x = rng.gen_range(s.x.min(d.x)..=s.x.max(d.x));
-    let y = rng.gen_range(s.y.min(d.y)..=s.y.max(d.y));
-    let via = mesh.node(Coord::new(x, y));
-    if via == src || via == dst {
-        // Degenerate intermediates: a single phase suffices.
-        return Ok((if via == src { Phase::Xy } else { Phase::Yx }, None));
+    let mut options = Vec::new();
+    for x in s.x.min(d.x)..=s.x.max(d.x) {
+        for y in s.y.min(d.y)..=s.y.max(d.y) {
+            let via = mesh.node(Coord::new(x, y));
+            options.push(if via == src {
+                // Degenerate intermediates: a single phase suffices.
+                (Phase::Xy, None)
+            } else if via == dst {
+                (Phase::Yx, None)
+            } else {
+                (Phase::Yx, Some(via))
+            });
+        }
     }
-    Ok((Phase::Yx, Some(via)))
+    options
 }
 
-fn plan_checkerboard<R: Rng + ?Sized>(
+fn checkerboard_options(
     mesh: &Mesh,
     src: NodeId,
     dst: NodeId,
-    rng: &mut R,
-) -> Result<(Phase, Option<NodeId>), UnroutableError> {
+) -> Result<Vec<(Phase, Option<NodeId>)>, UnroutableError> {
     let s = mesh.coord(src);
     let d = mesh.coord(dst);
     if s.same_row(d) || s.same_col(d) {
         // Straight line: no turn, either phase legal; XY covers both.
-        return Ok((Phase::Xy, None));
+        return Ok(vec![(Phase::Xy, None)]);
     }
     let xy_turn = mesh.node(Coord::new(d.x, s.y));
     let yx_turn = mesh.node(Coord::new(s.x, d.y));
     if !mesh.is_half(xy_turn) {
-        return Ok((Phase::Xy, None));
+        return Ok(vec![(Phase::Xy, None)]);
     }
     if !mesh.is_half(yx_turn) {
         // Case 1: turn at the (full) YX turn node instead.
-        return Ok((Phase::Yx, None));
+        return Ok(vec![(Phase::Yx, None)]);
     }
     // Both turn nodes are half-routers. For full-to-full pairs this is the
     // unroutable situation of Figure 12(a); for half-to-half pairs it is
@@ -175,30 +204,31 @@ fn plan_checkerboard<R: Rng + ?Sized>(
     if !mesh.is_half(src) && !mesh.is_half(dst) {
         return Err(UnroutableError { src, dst });
     }
-    let via = choose_intermediate(mesh, s, d, rng);
-    Ok((Phase::Yx, Some(via)))
+    Ok(case2_options(mesh, s, d))
 }
 
-/// Chooses a random intermediate full-router for checkerboard case 2:
-/// inside the minimal quadrant, not in the source row, an even number of
-/// columns from the source (which together guarantee that both the
-/// YX turn toward it and the XY turn after it land on full-routers).
-fn choose_intermediate<R: Rng + ?Sized>(mesh: &Mesh, s: Coord, d: Coord, rng: &mut R) -> NodeId {
+/// Case-2 intermediates: full-routers inside the minimal quadrant, not in
+/// the source row, an even number of columns from the source (which
+/// together guarantee that both the YX turn toward the intermediate and
+/// the XY turn after it land on full-routers).
+fn case2_options(mesh: &Mesh, s: Coord, d: Coord) -> Vec<(Phase, Option<NodeId>)> {
     let (x_lo, x_hi) = (s.x.min(d.x), s.x.max(d.x));
     let (y_lo, y_hi) = (s.y.min(d.y), s.y.max(d.y));
     let xs: Vec<u16> = (x_lo..=x_hi).filter(|x| (x % 2) == (s.x % 2)).collect();
-    let ys: Vec<u16> = (y_lo..=y_hi)
-        .filter(|&y| y != s.y && (s.x + y).is_multiple_of(2))
-        .collect();
+    let ys: Vec<u16> = (y_lo..=y_hi).filter(|&y| y != s.y && (s.x + y).is_multiple_of(2)).collect();
     assert!(
         !xs.is_empty() && !ys.is_empty(),
         "case-2 intermediate must exist for half-to-half pairs ({s} -> {d})"
     );
-    let x = xs[rng.gen_range(0..xs.len())];
-    let y = ys[rng.gen_range(0..ys.len())];
-    let via = mesh.node(Coord::new(x, y));
-    debug_assert!(!mesh.is_half(via), "intermediate must be a full-router");
-    via
+    let mut options = Vec::with_capacity(xs.len() * ys.len());
+    for &x in &xs {
+        for &y in &ys {
+            let via = mesh.node(Coord::new(x, y));
+            debug_assert!(!mesh.is_half(via), "intermediate must be a full-router");
+            options.push((Phase::Yx, Some(via)));
+        }
+    }
+    options
 }
 
 /// Computes the next hop for the packet whose head flit carries `hdr`,
@@ -318,9 +348,7 @@ pub fn trace_path<R: Rng + ?Sized>(
         match dec.out {
             OutPort::Eject => return Ok(path),
             OutPort::Dir(d) => {
-                node = mesh
-                    .neighbor(node, d)
-                    .expect("routing must never point off the mesh edge");
+                node = mesh.neighbor(node, d).expect("routing must never point off the mesh edge");
                 path.push(node);
             }
         }
@@ -394,8 +422,16 @@ mod tests {
                 if src == dst {
                     continue;
                 }
-                let p = trace_path(RoutingKind::DorXy, &l, &mesh, src, dst, PacketClass::Request, &mut r)
-                    .unwrap();
+                let p = trace_path(
+                    RoutingKind::DorXy,
+                    &l,
+                    &mesh,
+                    src,
+                    dst,
+                    PacketClass::Request,
+                    &mut r,
+                )
+                .unwrap();
                 assert_eq!(p.len() as u32 - 1, mesh.coord(src).manhattan(mesh.coord(dst)));
             }
         }
@@ -490,7 +526,8 @@ mod tests {
         let src = mesh.node(Coord::new(1, 0));
         let dst = mesh.node(Coord::new(3, 2));
         for _ in 0..50 {
-            let (phase, via) = plan_injection(RoutingKind::Checkerboard, &mesh, src, dst, &mut r).unwrap();
+            let (phase, via) =
+                plan_injection(RoutingKind::Checkerboard, &mesh, src, dst, &mut r).unwrap();
             assert_eq!(phase, Phase::Yx);
             let via = via.expect("case 2 must use an intermediate");
             let v = mesh.coord(via);
@@ -528,8 +565,7 @@ mod tests {
         let mut r = rng();
         let mut saw = [false; 2];
         for _ in 0..64 {
-            let (phase, via) =
-                plan_injection(RoutingKind::O1Turn, &mesh, 0, 35, &mut r).unwrap();
+            let (phase, via) = plan_injection(RoutingKind::O1Turn, &mesh, 0, 35, &mut r).unwrap();
             assert_eq!(via, None);
             saw[phase as usize] = true;
         }
@@ -539,8 +575,16 @@ mod tests {
                 if src == dst {
                     continue;
                 }
-                let p = trace_path(RoutingKind::O1Turn, &l, &mesh, src, dst, PacketClass::Reply, &mut r)
-                    .unwrap();
+                let p = trace_path(
+                    RoutingKind::O1Turn,
+                    &l,
+                    &mesh,
+                    src,
+                    dst,
+                    PacketClass::Reply,
+                    &mut r,
+                )
+                .unwrap();
                 assert_eq!(p.len() as u32 - 1, mesh.coord(src).manhattan(mesh.coord(dst)));
             }
         }
@@ -555,7 +599,8 @@ mod tests {
         let dst = mesh.node(Coord::new(4, 3));
         let mut vias = std::collections::HashSet::new();
         for _ in 0..100 {
-            if let (_, Some(via)) = plan_injection(RoutingKind::Romm, &mesh, src, dst, &mut r).unwrap()
+            if let (_, Some(via)) =
+                plan_injection(RoutingKind::Romm, &mesh, src, dst, &mut r).unwrap()
             {
                 let v = mesh.coord(via);
                 assert!(v.x <= 4 && v.y <= 3, "inside minimal quadrant");

@@ -155,7 +155,13 @@ mod tests {
     use super::*;
     use crate::packet::Packet;
 
-    fn ejected(class: PacketClass, flits: u16, created: u64, injected: u64, out: u64) -> EjectedPacket {
+    fn ejected(
+        class: PacketClass,
+        flits: u16,
+        created: u64,
+        injected: u64,
+        out: u64,
+    ) -> EjectedPacket {
         let mut p = Packet::new(class, 0, 1, 64, 0);
         p.header.flits = flits;
         p.header.created = created;

@@ -44,12 +44,7 @@ impl SynthPattern {
 
     /// Destination for a source node, or `None` if the node does not send
     /// under this pattern.
-    pub fn dest<R: Rng>(
-        &self,
-        k: usize,
-        src: NodeId,
-        rng: &mut R,
-    ) -> Option<NodeId> {
+    pub fn dest<R: Rng>(&self, k: usize, src: NodeId, rng: &mut R) -> Option<NodeId> {
         let n = k * k;
         let c = Coord::new((src % k) as u16, (src / k) as u16);
         let node = |x: u16, y: u16| y as usize * k + x as usize;
@@ -260,10 +255,7 @@ mod tests {
         };
         let dor = sat(RoutingKind::DorXy);
         let o1 = sat(RoutingKind::O1Turn);
-        assert!(
-            o1 >= dor,
-            "O1Turn transpose saturation ({o1}) must be at least DOR's ({dor})"
-        );
+        assert!(o1 >= dor, "O1Turn transpose saturation ({o1}) must be at least DOR's ({dor})");
     }
 
     #[test]

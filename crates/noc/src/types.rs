@@ -67,12 +67,8 @@ pub enum Direction {
 
 impl Direction {
     /// All four directions in port-index order.
-    pub const ALL: [Direction; 4] = [
-        Direction::North,
-        Direction::East,
-        Direction::South,
-        Direction::West,
-    ];
+    pub const ALL: [Direction; 4] =
+        [Direction::North, Direction::East, Direction::South, Direction::West];
 
     /// The opposite direction (`North <-> South`, `East <-> West`).
     pub fn opposite(self) -> Direction {

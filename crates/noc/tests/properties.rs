@@ -4,9 +4,10 @@
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use tenoc_noc::routing::{plan_injection, trace_path};
+use tenoc_noc::routing::{plan_injection, plan_options, trace_path};
 use tenoc_noc::{
-    Coord, Interconnect, Mesh, Network, NetworkConfig, Packet, PacketClass, RoutingKind, VcLayout,
+    Coord, Interconnect, Mesh, Network, NetworkConfig, Packet, PacketClass, Phase, RoutingKind,
+    VcLayout,
 };
 
 // Checkerboard routes between all legal endpoint pairs are minimal and
@@ -222,6 +223,76 @@ proptest! {
         // are not split because both phases map to the full class set).
         let expected = if split { 1 } else { 2 };
         prop_assert!(seen.iter().all(|&c| c == expected));
+    }
+}
+
+// Checkerboard planning fails *exactly* for full-to-full pairs that share
+// neither row nor column and whose XY turn node (d.x, s.y) has odd parity
+// (for full endpoints the YX turn node's parity then matches, so every
+// minimal turn would land on a half-router). Both directions of the iff,
+// for random mesh sizes including odd radices.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+    #[test]
+    fn checkerboard_unroutable_iff_full_full_odd_parity(
+        k in prop::sample::select(vec![4usize, 5, 6, 8, 9, 10]),
+        seed in any::<u64>(),
+        src_i in 0usize..100,
+        dst_i in 0usize..100,
+    ) {
+        let mesh = Mesh::checkerboard(k);
+        let src = src_i % mesh.len();
+        let dst = dst_i % mesh.len();
+        prop_assume!(src != dst);
+        let s = mesh.coord(src);
+        let d = mesh.coord(dst);
+        let expect_unroutable = !mesh.is_half(src)
+            && !mesh.is_half(dst)
+            && s.y != d.y
+            && s.x != d.x
+            && (d.x + s.y) % 2 == 1;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let plan = plan_injection(RoutingKind::Checkerboard, &mesh, src, dst, &mut rng);
+        prop_assert_eq!(
+            plan.is_err(),
+            expect_unroutable,
+            "k={} {:?} -> {:?}: plan={:?}",
+            k,
+            s,
+            d,
+            plan
+        );
+    }
+}
+
+// Every case-2 plan (not just the sampled one) uses an intermediate that
+// is a full-router outside the source row, inside the minimal quadrant,
+// reached in the YX phase — for random mesh sizes.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+    #[test]
+    fn case2_intermediates_full_routers_off_source_row(
+        k in prop::sample::select(vec![4usize, 6, 8, 10]),
+        src_i in 0usize..100,
+        dst_i in 0usize..100,
+    ) {
+        let mesh = Mesh::checkerboard(k);
+        let src = src_i % mesh.len();
+        let dst = dst_i % mesh.len();
+        prop_assume!(src != dst);
+        if let Ok(options) = plan_options(RoutingKind::Checkerboard, &mesh, src, dst) {
+            let s = mesh.coord(src);
+            let d = mesh.coord(dst);
+            for (phase, via) in options {
+                let Some(via) = via else { continue };
+                prop_assert_eq!(phase, Phase::Yx, "case 2 starts in the YX phase");
+                prop_assert!(!mesh.is_half(via), "intermediate must be a full-router");
+                let v = mesh.coord(via);
+                prop_assert_ne!(v.y, s.y, "intermediate off the source row");
+                prop_assert!(v.x >= s.x.min(d.x) && v.x <= s.x.max(d.x), "minimal quadrant");
+                prop_assert!(v.y >= s.y.min(d.y) && v.y <= s.y.max(d.y), "minimal quadrant");
+            }
+        }
     }
 }
 

@@ -113,9 +113,8 @@ impl ShaderCore {
     /// Panics if the spec or cache configuration is invalid.
     pub fn new(id: usize, cfg: CoreConfig, spec: &KernelSpec, seed: u64) -> Self {
         spec.validate().expect("invalid kernel spec");
-        let warps = (0..spec.warps_per_core)
-            .map(|w| Warp::new(id, w, spec.insts_per_warp, seed))
-            .collect();
+        let warps =
+            (0..spec.warps_per_core).map(|w| Warp::new(id, w, spec.insts_per_warp, seed)).collect();
         ShaderCore {
             id,
             l1: Cache::new(cfg.l1),
@@ -191,7 +190,11 @@ impl ShaderCore {
         let targets = self.mshrs.complete(line_addr);
         if let Some(ev) = self.l1.fill(line_addr) {
             if ev.dirty {
-                self.out.push_back(MemRequest { line_addr: ev.line_addr, is_write: true, size_bytes: 64 });
+                self.out.push_back(MemRequest {
+                    line_addr: ev.line_addr,
+                    is_write: true,
+                    size_bytes: 64,
+                });
                 self.stats.write_requests += 1;
             }
         }
@@ -212,9 +215,9 @@ impl ShaderCore {
         }
         let n = self.warps.len();
         let picked = match self.cfg.scheduler {
-            SchedulerPolicy::RoundRobin => (0..n)
-                .map(|i| (self.rr + i) % n)
-                .find(|&w| self.warps[w].ready(now)),
+            SchedulerPolicy::RoundRobin => {
+                (0..n).map(|i| (self.rr + i) % n).find(|&w| self.warps[w].ready(now))
+            }
             // Greedy: stick with the last-issued warp while it stays
             // ready; otherwise fall back to the lowest-id (oldest) ready
             // warp.
@@ -287,7 +290,11 @@ impl ShaderCore {
                 match self.l1.access(line, Access::Write) {
                     LookupResult::Hit => {} // dirty in L1; written back on eviction
                     LookupResult::Miss => {
-                        self.out.push_back(MemRequest { line_addr: line, is_write: true, size_bytes: 64 });
+                        self.out.push_back(MemRequest {
+                            line_addr: line,
+                            is_write: true,
+                            size_bytes: 64,
+                        });
                         self.stats.write_requests += 1;
                     }
                 }
@@ -503,10 +510,17 @@ mod tests {
 
     #[test]
     fn divergence_scales_scalar_count_not_timing() {
-        let full = KernelSpec::builder("full").warps_per_core(4).insts_per_warp(50)
-            .mem_fraction(0.0).build();
-        let div = KernelSpec::builder("div").warps_per_core(4).insts_per_warp(50)
-            .mem_fraction(0.0).active_lane_fraction(0.5).build();
+        let full = KernelSpec::builder("full")
+            .warps_per_core(4)
+            .insts_per_warp(50)
+            .mem_fraction(0.0)
+            .build();
+        let div = KernelSpec::builder("div")
+            .warps_per_core(4)
+            .insts_per_warp(50)
+            .mem_fraction(0.0)
+            .active_lane_fraction(0.5)
+            .build();
         let run = |spec: &KernelSpec| {
             let mut core = ShaderCore::new(0, CoreConfig::gtx280_like(), spec, 1);
             let mut cycle = 0;

@@ -6,13 +6,13 @@ use tenoc_simt::{CoreConfig, KernelSpec, ShaderCore, TrafficClass};
 
 fn arbitrary_spec() -> impl Strategy<Value = KernelSpec> {
     (
-        1usize..=16,        // warps
-        20u64..200,         // insts per warp
-        0.0f64..0.6,        // mem fraction
-        0.0f64..0.5,        // write fraction
-        0.0f64..1.0,        // stream fraction
+        1usize..=16, // warps
+        20u64..200,  // insts per warp
+        0.0f64..0.6, // mem fraction
+        0.0f64..0.5, // write fraction
+        0.0f64..1.0, // stream fraction
         prop::sample::select(vec![1u32, 2, 4, 8]),
-        1u32..6,            // dep distance
+        1u32..6, // dep distance
     )
         .prop_map(|(warps, insts, mem, wr, stream, lines, dep)| {
             KernelSpec::builder("prop")

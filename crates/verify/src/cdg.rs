@@ -1,0 +1,313 @@
+//! Channel dependency graph (CDG) construction and cycle analysis.
+//!
+//! Following Dally & Seitz, the resources a wormhole network can deadlock
+//! on are its *virtual channels*: one CDG vertex per (directed physical
+//! link, VC) pair. A packet holding VC `a` on one link while requesting
+//! any VC in the set `B` on the next link contributes the edges
+//! `a -> b` for every `b in B`. If every packet eventually reaches an
+//! ejection port (a sink outside the graph) and the CDG is acyclic, no
+//! cyclic wait can form and the routing function is deadlock-free; if the
+//! CDG has a cycle, the routing function *permits* a set of packets whose
+//! buffer waits form that cycle.
+//!
+//! Vertices are identified as `(node * 4 + dir) * total_vcs + vc`, where
+//! `dir` indexes the outgoing direction of the link at `node`
+//! ([`Direction::index`]). Edges carry a [`Witness`] — the first
+//! (src, dst, class, plan) whose traced route introduced the dependency —
+//! so a reported cycle names concrete packets that can form it.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use tenoc_noc::routing::VcSet;
+use tenoc_noc::{Coord, Direction, Mesh, NodeId, PacketClass, Phase};
+
+/// The packet population that introduced a dependency edge. The first
+/// witness wins; it is reported when the edge participates in a cycle.
+#[derive(Copy, Clone, Debug)]
+pub struct Witness {
+    /// Source terminal of the witnessing route.
+    pub src: NodeId,
+    /// Destination terminal of the witnessing route.
+    pub dst: NodeId,
+    /// Protocol class of the witnessing packet.
+    pub class: PacketClass,
+    /// Injection-time routing phase of the witnessing packet.
+    pub phase: Phase,
+    /// Case-2 intermediate of the witnessing plan, if any.
+    pub via: Option<NodeId>,
+}
+
+impl std::fmt::Display for Witness {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:?} {} -> {}", self.class, self.src, self.dst)?;
+        write!(f, " [{:?}", self.phase)?;
+        if let Some(via) = self.via {
+            write!(f, " via {via}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// A channel dependency graph at virtual-channel granularity.
+pub struct Cdg {
+    radix: usize,
+    total_vcs: usize,
+    n_vertices: usize,
+    adj: Vec<Vec<u32>>,
+    edges: HashSet<(u32, u32)>,
+    witnesses: HashMap<(u32, u32), Witness>,
+    used: Vec<bool>,
+}
+
+impl Cdg {
+    /// An empty CDG sized for `mesh` with `total_vcs` VCs per link.
+    pub fn new(mesh: &Mesh, total_vcs: u8) -> Self {
+        let n_vertices = mesh.len() * 4 * total_vcs as usize;
+        Cdg {
+            radix: mesh.radix(),
+            total_vcs: total_vcs as usize,
+            n_vertices,
+            adj: vec![Vec::new(); n_vertices],
+            edges: HashSet::new(),
+            witnesses: HashMap::new(),
+            used: vec![false; n_vertices],
+        }
+    }
+
+    fn vid(&self, node: NodeId, dir: Direction, vc: u8) -> u32 {
+        debug_assert!((vc as usize) < self.total_vcs);
+        ((node * 4 + dir.index()) * self.total_vcs + vc as usize) as u32
+    }
+
+    /// Marks the (link, VC) resources in `vcs` as reachable by traffic.
+    /// Resources no route ever touches are excluded from the vertex count.
+    pub fn mark_used(&mut self, node: NodeId, dir: Direction, vcs: VcSet) {
+        for vc in vcs.iter() {
+            let v = self.vid(node, dir, vc) as usize;
+            self.used[v] = true;
+        }
+    }
+
+    /// Adds the dependency edges from every VC a packet may hold on the
+    /// link `(hold_node, hold_dir)` to every VC it may request on the next
+    /// link `(want_node, want_dir)`.
+    pub fn add_dependency(
+        &mut self,
+        hold: (NodeId, Direction, VcSet),
+        want: (NodeId, Direction, VcSet),
+        witness: Witness,
+    ) {
+        self.mark_used(hold.0, hold.1, hold.2);
+        self.mark_used(want.0, want.1, want.2);
+        for hvc in hold.2.iter() {
+            let from = self.vid(hold.0, hold.1, hvc);
+            for wvc in want.2.iter() {
+                let to = self.vid(want.0, want.1, wvc);
+                if self.edges.insert((from, to)) {
+                    self.adj[from as usize].push(to);
+                    self.witnesses.insert((from, to), witness);
+                }
+            }
+        }
+    }
+
+    /// Number of (link, VC) resources reachable by at least one route.
+    pub fn vertex_count(&self) -> usize {
+        self.used.iter().filter(|&&u| u).count()
+    }
+
+    /// Number of distinct dependency edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Human-readable name of a vertex: `(x,y)->(x',y') vc<n>`.
+    pub fn describe_vertex(&self, v: u32) -> String {
+        let v = v as usize;
+        let vc = v % self.total_vcs;
+        let rest = v / self.total_vcs;
+        let dir = Direction::from_index(rest % 4);
+        let node = rest / 4;
+        let from = Coord::new((node % self.radix) as u16, (node / self.radix) as u16);
+        let (tx, ty) = match dir {
+            Direction::North => (from.x as i32, from.y as i32 - 1),
+            Direction::East => (from.x as i32 + 1, from.y as i32),
+            Direction::South => (from.x as i32, from.y as i32 + 1),
+            Direction::West => (from.x as i32 - 1, from.y as i32),
+        };
+        format!("({},{})->({tx},{ty}) vc{vc} [{dir}]", from.x, from.y)
+    }
+
+    /// Strongly connected components that contain a cycle (size > 1, or a
+    /// single vertex with a self-loop). Iterative Tarjan.
+    fn cyclic_sccs(&self) -> Vec<Vec<u32>> {
+        const UNVISITED: u32 = u32::MAX;
+        let n = self.n_vertices;
+        let mut index = vec![UNVISITED; n];
+        let mut low = vec![0u32; n];
+        let mut on_stack = vec![false; n];
+        let mut stack: Vec<usize> = Vec::new();
+        let mut next = 0u32;
+        let mut out = Vec::new();
+
+        for root in 0..n {
+            if index[root] != UNVISITED {
+                continue;
+            }
+            let mut work: Vec<(usize, usize)> = vec![(root, 0)];
+            while let Some(&(v, i)) = work.last() {
+                if i == 0 {
+                    index[v] = next;
+                    low[v] = next;
+                    next += 1;
+                    stack.push(v);
+                    on_stack[v] = true;
+                }
+                if i < self.adj[v].len() {
+                    work.last_mut().expect("frame exists").1 += 1;
+                    let w = self.adj[v][i] as usize;
+                    if index[w] == UNVISITED {
+                        work.push((w, 0));
+                    } else if on_stack[w] {
+                        low[v] = low[v].min(index[w]);
+                    }
+                } else {
+                    work.pop();
+                    if let Some(&(parent, _)) = work.last() {
+                        low[parent] = low[parent].min(low[v]);
+                    }
+                    if low[v] == index[v] {
+                        let mut scc = Vec::new();
+                        loop {
+                            let w = stack.pop().expect("Tarjan stack underflow");
+                            on_stack[w] = false;
+                            scc.push(w as u32);
+                            if w == v {
+                                break;
+                            }
+                        }
+                        let self_loop =
+                            scc.len() == 1 && self.edges.contains(&(v as u32, v as u32));
+                        if scc.len() > 1 || self_loop {
+                            out.push(scc);
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// A shortest dependency cycle, if any exists: the vertex sequence
+    /// `v0 -> v1 -> ... -> vL-1 (-> v0)` plus the witness of each edge
+    /// (including the closing edge). `None` proves the CDG acyclic.
+    pub fn shortest_cycle(&self) -> Option<(Vec<u32>, Vec<Witness>)> {
+        let mut best: Option<Vec<u32>> = None;
+        for scc in self.cyclic_sccs() {
+            let members: HashSet<u32> = scc.iter().copied().collect();
+            for &start in &scc {
+                if let Some(cycle) = self.bfs_cycle(start, &members) {
+                    if best.as_ref().is_none_or(|b| cycle.len() < b.len()) {
+                        best = Some(cycle);
+                    }
+                }
+            }
+        }
+        let cycle = best?;
+        let witnesses = cycle
+            .iter()
+            .zip(cycle.iter().cycle().skip(1))
+            .map(|(&a, &b)| self.witnesses[&(a, b)])
+            .collect();
+        Some((cycle, witnesses))
+    }
+
+    /// Shortest path `start -> ... -> start` inside `members` (BFS).
+    fn bfs_cycle(&self, start: u32, members: &HashSet<u32>) -> Option<Vec<u32>> {
+        let mut parent: HashMap<u32, u32> = HashMap::new();
+        let mut queue = VecDeque::new();
+        queue.push_back(start);
+        // `start` itself is intentionally never marked visited, so the
+        // first edge back into it closes the cycle.
+        while let Some(v) = queue.pop_front() {
+            for &w in &self.adj[v as usize] {
+                if w == start {
+                    let mut path = vec![v];
+                    let mut cur = v;
+                    while cur != start {
+                        cur = parent[&cur];
+                        path.push(cur);
+                    }
+                    path.reverse();
+                    return Some(path);
+                }
+                if members.contains(&w) && !parent.contains_key(&w) {
+                    parent.insert(w, v);
+                    queue.push_back(w);
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vcs1(first: u8) -> VcSet {
+        VcSet::new(first, 1)
+    }
+
+    fn witness() -> Witness {
+        Witness { src: 0, dst: 1, class: PacketClass::Request, phase: Phase::Xy, via: None }
+    }
+
+    #[test]
+    fn acyclic_chain_has_no_cycle() {
+        let mesh = Mesh::all_full(3);
+        let mut g = Cdg::new(&mesh, 2);
+        // 0 -E-> 1 -E-> 2: one straight-line dependency.
+        g.add_dependency((0, Direction::East, vcs1(0)), (1, Direction::East, vcs1(0)), witness());
+        assert_eq!(g.edge_count(), 1);
+        assert!(g.shortest_cycle().is_none());
+    }
+
+    #[test]
+    fn four_edge_ring_is_detected_minimally() {
+        let mesh = Mesh::all_full(3);
+        let mut g = Cdg::new(&mesh, 1);
+        // A clockwise ring through nodes 0,1,4,3 plus a pendant edge that
+        // must not appear in the reported cycle.
+        let ring = [
+            (0, Direction::East),
+            (1, Direction::South),
+            (4, Direction::West),
+            (3, Direction::North),
+        ];
+        for i in 0..4 {
+            g.add_dependency(
+                (ring[i].0, ring[i].1, vcs1(0)),
+                (ring[(i + 1) % 4].0, ring[(i + 1) % 4].1, vcs1(0)),
+                witness(),
+            );
+        }
+        g.add_dependency((6, Direction::East, vcs1(0)), (0, Direction::East, vcs1(0)), witness());
+        let (cycle, wits) = g.shortest_cycle().expect("ring must be found");
+        assert_eq!(cycle.len(), 4);
+        assert_eq!(wits.len(), 4);
+        // The pendant vertex (node 6) is not part of the cycle.
+        for &v in &cycle {
+            assert!(!g.describe_vertex(v).contains("(0,2)"), "{}", g.describe_vertex(v));
+        }
+    }
+
+    #[test]
+    fn vertex_description_names_link_and_vc() {
+        let mesh = Mesh::all_full(3);
+        let mut g = Cdg::new(&mesh, 2);
+        g.mark_used(4, Direction::North, vcs1(1));
+        let v = g.vid(4, Direction::North, 1);
+        assert_eq!(g.describe_vertex(v), "(1,1)->(1,0) vc1 [N]");
+        assert_eq!(g.vertex_count(), 1);
+    }
+}

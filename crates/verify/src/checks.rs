@@ -1,0 +1,463 @@
+//! The individual static checks run by [`crate::analyze`].
+//!
+//! All checks share one exhaustive enumeration of the routing function:
+//! for every ordered (src, dst) pair, every protocol class and every plan
+//! in [`plan_options`] (the complete set of outcomes `plan_injection` can
+//! produce), the route is walked with the simulator's own [`next_hop`].
+//! Because the walk reuses the production routing code, the proofs cover
+//! the simulator's behavior by construction rather than a re-derivation
+//! of it.
+
+use crate::cdg::{Cdg, Witness};
+use crate::{CheckKind, Finding, VerifyStats};
+use tenoc_noc::routing::{next_hop, plan_options, vc_set_for, OutPort, VcSet};
+use tenoc_noc::topology::{connection_allowed, InPort, OutPortKind};
+use tenoc_noc::{
+    Direction, Mesh, NetworkConfig, NodeId, Packet, PacketClass, Phase, RoutingKind, VcLayout,
+};
+
+/// One fully walked route for one plan of one (src, dst, class) triple.
+struct RouteTrace {
+    phase: Phase,
+    via: Option<NodeId>,
+    /// Nodes visited, `src..=dst` (last only when `ejected`).
+    nodes: Vec<NodeId>,
+    /// `hops[i]` is the direction of the hop `nodes[i] -> nodes[i+1]`.
+    hops: Vec<Direction>,
+    /// `vcsets[i]` is the VC set granted on the link of `hops[i]`.
+    vcsets: Vec<VcSet>,
+    /// Whether the walk reached an ejection decision within the hop cap.
+    ejected: bool,
+}
+
+/// Walks one plan through the production `next_hop`, recording every
+/// link-level decision. Never panics: a walk that fails to eject within
+/// `4 * mesh.len()` hops is returned truncated with `ejected == false`.
+fn trace(
+    kind: RoutingKind,
+    layout: &VcLayout,
+    mesh: &Mesh,
+    src: NodeId,
+    dst: NodeId,
+    class: PacketClass,
+    plan: (Phase, Option<NodeId>),
+) -> RouteTrace {
+    let mut hdr = Packet::new(class, src, dst, 8, 0).header;
+    hdr.phase = plan.0;
+    hdr.via = plan.1;
+    let mut t = RouteTrace {
+        phase: plan.0,
+        via: plan.1,
+        nodes: vec![src],
+        hops: Vec::new(),
+        vcsets: Vec::new(),
+        ejected: false,
+    };
+    let mut node = src;
+    for _ in 0..4 * mesh.len() {
+        let dec = next_hop(kind, layout, mesh, node, &mut hdr);
+        match dec.out {
+            OutPort::Eject => {
+                t.ejected = true;
+                return t;
+            }
+            OutPort::Dir(d) => {
+                let Some(next) = mesh.neighbor(node, d) else {
+                    // Route points off the mesh edge; stop here and let
+                    // the minimality check report the broken walk.
+                    return t;
+                };
+                t.hops.push(d);
+                t.vcsets.push(dec.vcs);
+                node = next;
+                t.nodes.push(node);
+            }
+        }
+    }
+    t
+}
+
+/// The independent routability specification for checkerboard meshes: a
+/// pair is unroutable exactly when both endpoints are full-routers, they
+/// share neither row nor column, and the XY turn node `(d.x, s.y)` has
+/// odd parity (for full-to-full pairs the YX turn node then has odd
+/// parity too, so every minimal turn lands on a half-router).
+pub fn expected_unroutable(mesh: &Mesh, src: NodeId, dst: NodeId) -> bool {
+    let s = mesh.coord(src);
+    let d = mesh.coord(dst);
+    !mesh.is_half(src)
+        && !mesh.is_half(dst)
+        && !s.same_row(d)
+        && !s.same_col(d)
+        && (d.x + s.y) % 2 == 1
+}
+
+/// Caps the number of per-pair violation messages so a systematically
+/// broken configuration produces a readable report.
+const MAX_DETAILS: usize = 8;
+
+struct Tally {
+    violations: Vec<String>,
+    total: usize,
+}
+
+impl Tally {
+    fn new() -> Self {
+        Tally { violations: Vec::new(), total: 0 }
+    }
+
+    fn push(&mut self, msg: String) {
+        self.total += 1;
+        if self.violations.len() < MAX_DETAILS {
+            self.violations.push(msg);
+        }
+    }
+
+    fn into_finding(self, check: CheckKind, ok_msg: String, findings: &mut Vec<Finding>) {
+        if self.total == 0 {
+            findings.push(Finding::info(check, ok_msg));
+        } else {
+            let mut msg = format!("{} violation(s):", self.total);
+            for v in &self.violations {
+                msg.push_str("\n    ");
+                msg.push_str(v);
+            }
+            if self.total > self.violations.len() {
+                msg.push_str(&format!("\n    ... and {} more", self.total - self.violations.len()));
+            }
+            findings.push(Finding::violation(check, msg));
+        }
+    }
+}
+
+/// Runs routability, turn-legality, minimality, routing-deadlock,
+/// VC-partition and protocol-separation checks, appending one finding per
+/// check (info when proven, violation with details otherwise).
+pub fn run(cfg: &NetworkConfig, findings: &mut Vec<Finding>, stats: &mut VerifyStats) {
+    let mesh = &cfg.mesh;
+    let layout = &cfg.vcs;
+    let kind = cfg.routing;
+    let classes: &[PacketClass] =
+        if layout.classes == 2 { &PacketClass::ALL } else { &[PacketClass::Request] };
+
+    let mut cdg = Cdg::new(mesh, layout.total);
+    let mut routability = Tally::new();
+    let mut turns = Tally::new();
+    let mut minimality = Tally::new();
+
+    for src in mesh.nodes() {
+        for dst in mesh.nodes() {
+            if src == dst {
+                continue;
+            }
+            stats.pairs += 1;
+            let options = match plan_options(kind, mesh, src, dst) {
+                Ok(o) => o,
+                Err(_) => {
+                    stats.unroutable_pairs += 1;
+                    let expected =
+                        kind == RoutingKind::Checkerboard && expected_unroutable(mesh, src, dst);
+                    if !expected {
+                        routability.push(format!(
+                            "{src} -> {dst} unroutable but not a full-to-full odd-parity \
+                             checkerboard pair"
+                        ));
+                    }
+                    continue;
+                }
+            };
+            if kind == RoutingKind::Checkerboard && expected_unroutable(mesh, src, dst) {
+                routability.push(format!(
+                    "{src} -> {dst} routable but the checkerboard specification says it must \
+                     not be"
+                ));
+            }
+            // Dedup: repeated options only carry probability weight.
+            let mut plans: Vec<(Phase, Option<NodeId>)> = Vec::new();
+            for p in options {
+                if !plans.contains(&p) {
+                    plans.push(p);
+                }
+            }
+            for &plan in &plans {
+                for &class in classes {
+                    stats.plans_traced += 1;
+                    let t = trace(kind, layout, mesh, src, dst, class, plan);
+                    check_route(cfg, &t, src, dst, class, &mut turns, &mut minimality);
+                    feed_cdg(&mut cdg, &t, src, dst, class);
+                }
+            }
+        }
+    }
+
+    check_mc_reachability(cfg, &mut routability);
+
+    stats.cdg_vertices = cdg.vertex_count();
+    stats.cdg_edges = cdg.edge_count();
+
+    let routable = stats.pairs - stats.unroutable_pairs;
+    routability.into_finding(
+        CheckKind::Routability,
+        if kind == RoutingKind::Checkerboard {
+            format!(
+                "{routable}/{} ordered pairs routable; all {} unroutable pairs match the \
+                 full-to-full odd-parity predicate exactly; every MC <-> node pair routable",
+                stats.pairs, stats.unroutable_pairs
+            )
+        } else {
+            format!("all {} ordered pairs routable", stats.pairs)
+        },
+        findings,
+    );
+    turns.into_finding(
+        CheckKind::TurnLegality,
+        "no route turns at a half-router and every hop uses an allowed router connection"
+            .to_string(),
+        findings,
+    );
+    minimality.into_finding(
+        CheckKind::Minimality,
+        format!(
+            "all {} traced routes are minimal (hop count == Manhattan distance)",
+            stats.plans_traced
+        ),
+        findings,
+    );
+
+    match cdg.shortest_cycle() {
+        None => findings.push(Finding::info(
+            CheckKind::RoutingDeadlock,
+            format!(
+                "channel dependency graph is acyclic ({} vc-channels, {} dependencies): \
+                 routing-deadlock-free",
+                stats.cdg_vertices, stats.cdg_edges
+            ),
+        )),
+        Some((cycle, witnesses)) => {
+            let mut msg = format!(
+                "channel dependency graph has a cycle of length {} (of {} vc-channels, {} \
+                 dependencies); a deadlocked packet set:",
+                cycle.len(),
+                stats.cdg_vertices,
+                stats.cdg_edges
+            );
+            for (i, &v) in cycle.iter().enumerate() {
+                let next = cycle[(i + 1) % cycle.len()];
+                msg.push_str(&format!(
+                    "\n    {} -> {}  (held/requested by {})",
+                    cdg.describe_vertex(v),
+                    cdg.describe_vertex(next),
+                    witnesses[i]
+                ));
+            }
+            findings.push(Finding::violation(CheckKind::RoutingDeadlock, msg));
+        }
+    }
+
+    check_vc_partition(cfg, findings);
+    check_protocol_separation(cfg, findings);
+}
+
+/// Per-route checks: turn legality at every intermediate router, and
+/// minimality — the walk must eject at its destination after exactly
+/// Manhattan-distance hops.
+fn check_route(
+    cfg: &NetworkConfig,
+    t: &RouteTrace,
+    src: NodeId,
+    dst: NodeId,
+    class: PacketClass,
+    turns: &mut Tally,
+    minimality: &mut Tally,
+) {
+    let mesh = &cfg.mesh;
+    let label = || {
+        let via = t.via.map(|v| format!(" via {v}")).unwrap_or_default();
+        format!("{class:?} {src} -> {dst} [{:?}{via}]", t.phase)
+    };
+
+    if !t.ejected {
+        minimality.push(format!("{} never reaches an ejection decision", label()));
+        return;
+    }
+    if *t.nodes.last().expect("trace has nodes") != dst {
+        minimality.push(format!(
+            "{} ejects at node {} instead of its destination",
+            label(),
+            t.nodes.last().expect("trace has nodes")
+        ));
+        return;
+    }
+    let dist = mesh.coord(src).manhattan(mesh.coord(dst));
+    if t.hops.len() as u32 != dist {
+        minimality.push(format!(
+            "{} takes {} hops, Manhattan distance is {dist}",
+            label(),
+            t.hops.len()
+        ));
+    }
+
+    // Hop i enters nodes[i+1] from direction hops[i] (so through input
+    // port hops[i].opposite()) and leaves through hops[i+1]; the final
+    // decision at the destination is an ejection, which is always allowed.
+    for i in 0..t.hops.len().saturating_sub(1) {
+        let router = t.nodes[i + 1];
+        let inp = InPort::Dir(t.hops[i].opposite());
+        let out = OutPortKind::Dir(t.hops[i + 1]);
+        if !connection_allowed(mesh.kind(router), inp, out) {
+            turns.push(format!(
+                "{} turns {:?} -> {:?} at {} router {router}",
+                label(),
+                t.hops[i],
+                t.hops[i + 1],
+                if mesh.is_half(router) { "half" } else { "full" }
+            ));
+        }
+    }
+}
+
+/// Adds the route's dependencies to the CDG: the packet may hold any
+/// granted VC on link `i` while requesting the VCs granted on link
+/// `i + 1`. Injection sources and ejection sinks terminate chains, so
+/// they contribute no edges (only vertex usage).
+fn feed_cdg(cdg: &mut Cdg, t: &RouteTrace, src: NodeId, dst: NodeId, class: PacketClass) {
+    let witness = Witness { src, dst, class, phase: t.phase, via: t.via };
+    for i in 0..t.hops.len() {
+        cdg.mark_used(t.nodes[i], t.hops[i], t.vcsets[i]);
+        if i + 1 < t.hops.len() {
+            cdg.add_dependency(
+                (t.nodes[i], t.hops[i], t.vcsets[i]),
+                (t.nodes[i + 1], t.hops[i + 1], t.vcsets[i + 1]),
+                witness,
+            );
+        }
+    }
+}
+
+/// Every configured MC must be able to exchange traffic with every other
+/// node in both directions — the paper's placement rule (MCs and L2 banks
+/// on half-routers) exists precisely to avoid unroutable pairs.
+fn check_mc_reachability(cfg: &NetworkConfig, routability: &mut Tally) {
+    for &mc in &cfg.mc_nodes {
+        for node in cfg.mesh.nodes() {
+            if node == mc {
+                continue;
+            }
+            for (a, b) in [(node, mc), (mc, node)] {
+                if plan_options(cfg.routing, &cfg.mesh, a, b).is_err() {
+                    routability.push(format!(
+                        "MC placement broken: {a} -> {b} unroutable (MC at node {mc})"
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// The (class, phase) VC sets the routing function hands out must tile
+/// the physical VCs exactly: no overlap between distinct sets (overlap
+/// re-couples traffic the layout claims to isolate) and no unused VC
+/// (dead buffering the area model would still pay for).
+fn check_vc_partition(cfg: &NetworkConfig, findings: &mut Vec<Finding>) {
+    let layout = &cfg.vcs;
+    let kind = cfg.routing;
+    let classes: &[PacketClass] =
+        if layout.classes == 2 { &PacketClass::ALL } else { &[PacketClass::Request] };
+    let phases: &[Phase] =
+        if kind.needs_phase_split() { &[Phase::Xy, Phase::Yx] } else { &[Phase::Xy] };
+
+    let mut sets: Vec<(String, VcSet)> = Vec::new();
+    for &class in classes {
+        for &phase in phases {
+            let set = vc_set_for(kind, layout, class, phase);
+            if !sets.iter().any(|(_, s)| *s == set) {
+                sets.push((format!("({class:?}, {phase:?})"), set));
+            }
+        }
+    }
+
+    let mut owners: Vec<Vec<&str>> = vec![Vec::new(); layout.total as usize];
+    for (name, set) in &sets {
+        for vc in set.iter() {
+            if (vc as usize) < owners.len() {
+                owners[vc as usize].push(name.as_str());
+            } else {
+                findings.push(Finding::violation(
+                    CheckKind::VcPartition,
+                    format!("{name} grants vc{vc}, beyond the {} physical VCs", layout.total),
+                ));
+                return;
+            }
+        }
+    }
+
+    let mut problems = Vec::new();
+    for (vc, who) in owners.iter().enumerate() {
+        match who.len() {
+            0 => problems.push(format!("vc{vc} is granted to no (class, phase) set")),
+            1 => {}
+            _ => problems.push(format!(
+                "vc{vc} is granted to {} distinct sets: {}",
+                who.len(),
+                who.join(", ")
+            )),
+        }
+    }
+    if problems.is_empty() {
+        findings.push(Finding::info(
+            CheckKind::VcPartition,
+            format!(
+                "{} distinct (class, phase) sets tile the {} VCs exactly",
+                sets.len(),
+                layout.total
+            ),
+        ));
+    } else {
+        findings.push(Finding::violation(CheckKind::VcPartition, problems.join("; ")));
+    }
+}
+
+/// Request/reply protocol deadlock: with a two-class layout the classes
+/// must own disjoint VC sets on every link (two logical networks on one
+/// fabric). A single-class layout provides no in-network separation —
+/// that is only safe when each physical network carries one class, as the
+/// channel-sliced double network does, so it is reported as info rather
+/// than a violation.
+fn check_protocol_separation(cfg: &NetworkConfig, findings: &mut Vec<Finding>) {
+    let layout = &cfg.vcs;
+    if layout.classes != 2 {
+        findings.push(Finding::info(
+            CheckKind::ProtocolSeparation,
+            "single-class VC layout: request/reply isolation is not provided in-network and \
+             must come from physically disjoint networks (double-network slicing)"
+                .to_string(),
+        ));
+        return;
+    }
+    let phases: &[Phase] =
+        if cfg.routing.needs_phase_split() { &[Phase::Xy, Phase::Yx] } else { &[Phase::Xy] };
+    let mut overlaps = Vec::new();
+    for &pq in phases {
+        for &pr in phases {
+            let rq = vc_set_for(cfg.routing, layout, PacketClass::Request, pq);
+            let rp = vc_set_for(cfg.routing, layout, PacketClass::Reply, pr);
+            for vc in rq.iter() {
+                if rp.contains(vc) {
+                    overlaps
+                        .push(format!("vc{vc} serves both Request ({pq:?}) and Reply ({pr:?})"));
+                }
+            }
+        }
+    }
+    if overlaps.is_empty() {
+        findings.push(Finding::info(
+            CheckKind::ProtocolSeparation,
+            "request and reply classes own disjoint VC sets in every phase: \
+             protocol-deadlock-free (two logical networks on one fabric)"
+                .to_string(),
+        ));
+    } else {
+        overlaps.truncate(MAX_DETAILS);
+        findings.push(Finding::violation(CheckKind::ProtocolSeparation, overlaps.join("; ")));
+    }
+}

@@ -80,97 +80,289 @@ pub fn suite() -> Vec<KernelSpec> {
     vec![
         // ---- LL: locality-optimized, light traffic, low speedup ----
         // Heavy use of scratchpad/L1; tiny working sets; little streaming.
-        ll("AES").warps_per_core(32).insts_per_warp(900).mem_fraction(0.02)
-            .stream_fraction(0.02).working_set(4 << 10).lines_per_mem(1).build(),
-        ll("BIN").warps_per_core(32).insts_per_warp(1000).mem_fraction(0.02)
-            .stream_fraction(0.05).working_set(8 << 10).lines_per_mem(1).build(),
-        ll("HSP").warps_per_core(24).insts_per_warp(800).mem_fraction(0.04)
-            .stream_fraction(0.10).working_set(8 << 10).lines_per_mem(1)
-            .mem_dep_distance(2).build(),
-        ll("NE").warps_per_core(24).insts_per_warp(900).mem_fraction(0.03)
-            .stream_fraction(0.05).working_set(8 << 10).lines_per_mem(1).build(),
-        ll("NDL").warps_per_core(16).insts_per_warp(800).mem_fraction(0.028)
-            .stream_fraction(0.12).working_set(12 << 10).lines_per_mem(1)
-            .mem_dep_distance(1).build(),
-        ll("HW").warps_per_core(24).insts_per_warp(1000).mem_fraction(0.03)
-            .stream_fraction(0.08).working_set(8 << 10).lines_per_mem(1).build(),
-        ll("LE").warps_per_core(32).insts_per_warp(1100).mem_fraction(0.04)
-            .stream_fraction(0.08).working_set(8 << 10).lines_per_mem(1).build(),
-        ll("HIS").warps_per_core(32).insts_per_warp(700).mem_fraction(0.034)
-            .stream_fraction(0.08).working_set(8 << 10).lines_per_mem(1).build(),
-        ll("LU").warps_per_core(24).insts_per_warp(900).mem_fraction(0.034)
-            .stream_fraction(0.15).working_set(16 << 10).lines_per_mem(1)
-            .mem_dep_distance(1).build(),
-        ll("SLA").warps_per_core(14).insts_per_warp(700).mem_fraction(0.038)
-            .stream_fraction(0.25).working_set(16 << 10).lines_per_mem(1)
-            .mem_dep_distance(1).build(),
-        ll("BP").warps_per_core(14).insts_per_warp(700).mem_fraction(0.032)
-            .stream_fraction(0.30).working_set(16 << 10).lines_per_mem(1)
-            .mem_dep_distance(1).build(),
+        ll("AES")
+            .warps_per_core(32)
+            .insts_per_warp(900)
+            .mem_fraction(0.02)
+            .stream_fraction(0.02)
+            .working_set(4 << 10)
+            .lines_per_mem(1)
+            .build(),
+        ll("BIN")
+            .warps_per_core(32)
+            .insts_per_warp(1000)
+            .mem_fraction(0.02)
+            .stream_fraction(0.05)
+            .working_set(8 << 10)
+            .lines_per_mem(1)
+            .build(),
+        ll("HSP")
+            .warps_per_core(24)
+            .insts_per_warp(800)
+            .mem_fraction(0.04)
+            .stream_fraction(0.10)
+            .working_set(8 << 10)
+            .lines_per_mem(1)
+            .mem_dep_distance(2)
+            .build(),
+        ll("NE")
+            .warps_per_core(24)
+            .insts_per_warp(900)
+            .mem_fraction(0.03)
+            .stream_fraction(0.05)
+            .working_set(8 << 10)
+            .lines_per_mem(1)
+            .build(),
+        ll("NDL")
+            .warps_per_core(16)
+            .insts_per_warp(800)
+            .mem_fraction(0.028)
+            .stream_fraction(0.12)
+            .working_set(12 << 10)
+            .lines_per_mem(1)
+            .mem_dep_distance(1)
+            .build(),
+        ll("HW")
+            .warps_per_core(24)
+            .insts_per_warp(1000)
+            .mem_fraction(0.03)
+            .stream_fraction(0.08)
+            .working_set(8 << 10)
+            .lines_per_mem(1)
+            .build(),
+        ll("LE")
+            .warps_per_core(32)
+            .insts_per_warp(1100)
+            .mem_fraction(0.04)
+            .stream_fraction(0.08)
+            .working_set(8 << 10)
+            .lines_per_mem(1)
+            .build(),
+        ll("HIS")
+            .warps_per_core(32)
+            .insts_per_warp(700)
+            .mem_fraction(0.034)
+            .stream_fraction(0.08)
+            .working_set(8 << 10)
+            .lines_per_mem(1)
+            .build(),
+        ll("LU")
+            .warps_per_core(24)
+            .insts_per_warp(900)
+            .mem_fraction(0.034)
+            .stream_fraction(0.15)
+            .working_set(16 << 10)
+            .lines_per_mem(1)
+            .mem_dep_distance(1)
+            .build(),
+        ll("SLA")
+            .warps_per_core(14)
+            .insts_per_warp(700)
+            .mem_fraction(0.038)
+            .stream_fraction(0.25)
+            .working_set(16 << 10)
+            .lines_per_mem(1)
+            .mem_dep_distance(1)
+            .build(),
+        ll("BP")
+            .warps_per_core(14)
+            .insts_per_warp(700)
+            .mem_fraction(0.032)
+            .stream_fraction(0.30)
+            .working_set(16 << 10)
+            .lines_per_mem(1)
+            .mem_dep_distance(1)
+            .build(),
         // ---- LH: heavy traffic but latency-tolerant / below saturation ----
         // Moderate streaming with deep memory-level parallelism.
-        lh("CON").warps_per_core(32).insts_per_warp(600).mem_fraction(0.040)
-            .stream_fraction(0.35).working_set(96 << 10).lines_per_mem(2)
-            .mem_dep_distance(6).build(),
+        lh("CON")
+            .warps_per_core(32)
+            .insts_per_warp(600)
+            .mem_fraction(0.040)
+            .stream_fraction(0.35)
+            .working_set(96 << 10)
+            .lines_per_mem(2)
+            .mem_dep_distance(6)
+            .build(),
         // NNC: too few threads to hide latency or saturate memory.
-        lh("NNC").warps_per_core(2).insts_per_warp(600).mem_fraction(0.30)
-            .stream_fraction(0.60).working_set(64 << 10).lines_per_mem(2)
-            .mem_dep_distance(2).build(),
-        lh("BLK").warps_per_core(32).insts_per_warp(600).mem_fraction(0.036)
-            .stream_fraction(0.45).working_set(128 << 10).lines_per_mem(2)
-            .mem_dep_distance(6).build(),
-        lh("MM").warps_per_core(32).insts_per_warp(700).mem_fraction(0.044)
-            .stream_fraction(0.30).working_set(192 << 10).lines_per_mem(2)
-            .mem_dep_distance(6).build(),
-        lh("LPS").warps_per_core(24).insts_per_warp(600).mem_fraction(0.044)
-            .stream_fraction(0.35).working_set(128 << 10).lines_per_mem(2)
-            .mem_dep_distance(6).build(),
-        lh("RAY").warps_per_core(24).insts_per_warp(700).mem_fraction(0.024)
-            .stream_fraction(0.30).working_set(256 << 10).lines_per_mem(4)
-            .mem_dep_distance(6).active_lane_fraction(0.8).build(),
-        lh("DG").warps_per_core(32).insts_per_warp(700).mem_fraction(0.040)
-            .stream_fraction(0.40).working_set(192 << 10).lines_per_mem(2)
-            .mem_dep_distance(6).build(),
-        lh("SS").warps_per_core(32).insts_per_warp(600).mem_fraction(0.044)
-            .stream_fraction(0.40).working_set(128 << 10).lines_per_mem(2)
-            .mem_dep_distance(6).build(),
-        lh("TRA").warps_per_core(32).insts_per_warp(500).mem_fraction(0.040)
-            .stream_fraction(0.45).working_set(256 << 10).lines_per_mem(2)
-            .mem_dep_distance(8).build(),
-        lh("SR").warps_per_core(24).insts_per_warp(600).mem_fraction(0.044)
-            .stream_fraction(0.40).working_set(128 << 10).lines_per_mem(2)
-            .mem_dep_distance(6).build(),
-        lh("WP").warps_per_core(16).insts_per_warp(700).mem_fraction(0.048)
-            .stream_fraction(0.45).working_set(192 << 10).lines_per_mem(2)
-            .write_fraction(0.25).mem_dep_distance(4).build(),
+        lh("NNC")
+            .warps_per_core(2)
+            .insts_per_warp(600)
+            .mem_fraction(0.30)
+            .stream_fraction(0.60)
+            .working_set(64 << 10)
+            .lines_per_mem(2)
+            .mem_dep_distance(2)
+            .build(),
+        lh("BLK")
+            .warps_per_core(32)
+            .insts_per_warp(600)
+            .mem_fraction(0.036)
+            .stream_fraction(0.45)
+            .working_set(128 << 10)
+            .lines_per_mem(2)
+            .mem_dep_distance(6)
+            .build(),
+        lh("MM")
+            .warps_per_core(32)
+            .insts_per_warp(700)
+            .mem_fraction(0.044)
+            .stream_fraction(0.30)
+            .working_set(192 << 10)
+            .lines_per_mem(2)
+            .mem_dep_distance(6)
+            .build(),
+        lh("LPS")
+            .warps_per_core(24)
+            .insts_per_warp(600)
+            .mem_fraction(0.044)
+            .stream_fraction(0.35)
+            .working_set(128 << 10)
+            .lines_per_mem(2)
+            .mem_dep_distance(6)
+            .build(),
+        lh("RAY")
+            .warps_per_core(24)
+            .insts_per_warp(700)
+            .mem_fraction(0.024)
+            .stream_fraction(0.30)
+            .working_set(256 << 10)
+            .lines_per_mem(4)
+            .mem_dep_distance(6)
+            .active_lane_fraction(0.8)
+            .build(),
+        lh("DG")
+            .warps_per_core(32)
+            .insts_per_warp(700)
+            .mem_fraction(0.040)
+            .stream_fraction(0.40)
+            .working_set(192 << 10)
+            .lines_per_mem(2)
+            .mem_dep_distance(6)
+            .build(),
+        lh("SS")
+            .warps_per_core(32)
+            .insts_per_warp(600)
+            .mem_fraction(0.044)
+            .stream_fraction(0.40)
+            .working_set(128 << 10)
+            .lines_per_mem(2)
+            .mem_dep_distance(6)
+            .build(),
+        lh("TRA")
+            .warps_per_core(32)
+            .insts_per_warp(500)
+            .mem_fraction(0.040)
+            .stream_fraction(0.45)
+            .working_set(256 << 10)
+            .lines_per_mem(2)
+            .mem_dep_distance(8)
+            .build(),
+        lh("SR")
+            .warps_per_core(24)
+            .insts_per_warp(600)
+            .mem_fraction(0.044)
+            .stream_fraction(0.40)
+            .working_set(128 << 10)
+            .lines_per_mem(2)
+            .mem_dep_distance(6)
+            .build(),
+        lh("WP")
+            .warps_per_core(16)
+            .insts_per_warp(700)
+            .mem_fraction(0.048)
+            .stream_fraction(0.45)
+            .working_set(192 << 10)
+            .lines_per_mem(2)
+            .write_fraction(0.25)
+            .mem_dep_distance(4)
+            .build(),
         // ---- HH: streaming, memory-bound, network-bound ----
-        hh("MUM").warps_per_core(24).insts_per_warp(400).mem_fraction(0.12)
-            .stream_fraction(0.80).working_set(512 << 10).lines_per_mem(4)
-            .mem_dep_distance(3).active_lane_fraction(0.7).build(),
-        hh("LIB").warps_per_core(32).insts_per_warp(450).mem_fraction(0.20)
-            .stream_fraction(0.90).working_set(256 << 10).lines_per_mem(2)
-            .mem_dep_distance(4).build(),
-        hh("FWT").warps_per_core(32).insts_per_warp(400).mem_fraction(0.18)
-            .stream_fraction(0.85).working_set(512 << 10).lines_per_mem(2)
-            .write_fraction(0.30).mem_dep_distance(4).build(),
-        hh("SCP").warps_per_core(32).insts_per_warp(350).mem_fraction(0.24)
-            .stream_fraction(0.95).working_set(256 << 10).lines_per_mem(2)
-            .mem_dep_distance(4).build(),
-        hh("STC").warps_per_core(32).insts_per_warp(400).mem_fraction(0.22)
-            .stream_fraction(0.85).working_set(512 << 10).lines_per_mem(2)
-            .write_fraction(0.20).mem_dep_distance(4).build(),
-        hh("KM").warps_per_core(32).insts_per_warp(400).mem_fraction(0.28)
-            .stream_fraction(0.90).working_set(256 << 10).lines_per_mem(2)
-            .mem_dep_distance(4).build(),
-        hh("CFD").warps_per_core(32).insts_per_warp(350).mem_fraction(0.32)
-            .stream_fraction(0.92).working_set(512 << 10).lines_per_mem(4)
-            .mem_dep_distance(3).build(),
-        hh("BFS").warps_per_core(24).insts_per_warp(400).mem_fraction(0.25)
-            .stream_fraction(0.85).working_set(1 << 20).lines_per_mem(8)
-            .mem_dep_distance(2).active_lane_fraction(0.55).build(),
-        hh("RD").warps_per_core(32).insts_per_warp(300).mem_fraction(0.45)
-            .stream_fraction(0.98).working_set(256 << 10).lines_per_mem(2)
-            .mem_dep_distance(4).build(),
+        hh("MUM")
+            .warps_per_core(24)
+            .insts_per_warp(400)
+            .mem_fraction(0.12)
+            .stream_fraction(0.80)
+            .working_set(512 << 10)
+            .lines_per_mem(4)
+            .mem_dep_distance(3)
+            .active_lane_fraction(0.7)
+            .build(),
+        hh("LIB")
+            .warps_per_core(32)
+            .insts_per_warp(450)
+            .mem_fraction(0.20)
+            .stream_fraction(0.90)
+            .working_set(256 << 10)
+            .lines_per_mem(2)
+            .mem_dep_distance(4)
+            .build(),
+        hh("FWT")
+            .warps_per_core(32)
+            .insts_per_warp(400)
+            .mem_fraction(0.18)
+            .stream_fraction(0.85)
+            .working_set(512 << 10)
+            .lines_per_mem(2)
+            .write_fraction(0.30)
+            .mem_dep_distance(4)
+            .build(),
+        hh("SCP")
+            .warps_per_core(32)
+            .insts_per_warp(350)
+            .mem_fraction(0.24)
+            .stream_fraction(0.95)
+            .working_set(256 << 10)
+            .lines_per_mem(2)
+            .mem_dep_distance(4)
+            .build(),
+        hh("STC")
+            .warps_per_core(32)
+            .insts_per_warp(400)
+            .mem_fraction(0.22)
+            .stream_fraction(0.85)
+            .working_set(512 << 10)
+            .lines_per_mem(2)
+            .write_fraction(0.20)
+            .mem_dep_distance(4)
+            .build(),
+        hh("KM")
+            .warps_per_core(32)
+            .insts_per_warp(400)
+            .mem_fraction(0.28)
+            .stream_fraction(0.90)
+            .working_set(256 << 10)
+            .lines_per_mem(2)
+            .mem_dep_distance(4)
+            .build(),
+        hh("CFD")
+            .warps_per_core(32)
+            .insts_per_warp(350)
+            .mem_fraction(0.32)
+            .stream_fraction(0.92)
+            .working_set(512 << 10)
+            .lines_per_mem(4)
+            .mem_dep_distance(3)
+            .build(),
+        hh("BFS")
+            .warps_per_core(24)
+            .insts_per_warp(400)
+            .mem_fraction(0.25)
+            .stream_fraction(0.85)
+            .working_set(1 << 20)
+            .lines_per_mem(8)
+            .mem_dep_distance(2)
+            .active_lane_fraction(0.55)
+            .build(),
+        hh("RD")
+            .warps_per_core(32)
+            .insts_per_warp(300)
+            .mem_fraction(0.45)
+            .stream_fraction(0.98)
+            .working_set(256 << 10)
+            .lines_per_mem(2)
+            .mem_dep_distance(4)
+            .build(),
     ]
 }
 

@@ -16,9 +16,16 @@ fn show(mesh: &Mesh, src: Coord, dst: Coord, rng: &mut SmallRng) {
     match plan_injection(RoutingKind::Checkerboard, mesh, s, d, rng) {
         Err(e) => println!("{src} -> {dst}: UNROUTABLE ({e})"),
         Ok((phase, via)) => {
-            let path =
-                trace_path(RoutingKind::Checkerboard, &layout, mesh, s, d, PacketClass::Request, rng)
-                    .expect("plan succeeded");
+            let path = trace_path(
+                RoutingKind::Checkerboard,
+                &layout,
+                mesh,
+                s,
+                d,
+                PacketClass::Request,
+                rng,
+            )
+            .expect("plan succeeded");
             let coords: Vec<String> = path
                 .iter()
                 .map(|&n| {
@@ -27,9 +34,8 @@ fn show(mesh: &Mesh, src: Coord, dst: Coord, rng: &mut SmallRng) {
                     format!("{c}{tag}")
                 })
                 .collect();
-            let via_txt = via
-                .map(|v| format!(" via intermediate {}", mesh.coord(v)))
-                .unwrap_or_default();
+            let via_txt =
+                via.map(|v| format!(" via intermediate {}", mesh.coord(v))).unwrap_or_default();
             println!("{src} -> {dst}: phase {phase:?}{via_txt}");
             println!("    {}", coords.join(" -> "));
         }
@@ -53,5 +59,8 @@ fn main() {
     show(&mesh, Coord::new(0, 0), Coord::new(1, 1), &mut rng);
 
     println!("\nMC placement avoids the impossible pairs by putting all MCs on");
-    println!("half-routers: {:?}", mesh.checkerboard_mcs(8).iter().map(|&n| mesh.coord(n).to_string()).collect::<Vec<_>>());
+    println!(
+        "half-routers: {:?}",
+        mesh.checkerboard_mcs(8).iter().map(|&n| mesh.coord(n).to_string()).collect::<Vec<_>>()
+    );
 }

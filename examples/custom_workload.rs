@@ -21,15 +21,21 @@ fn main() {
         .mem_dep_distance(1)
         .build();
 
-    println!("kernel: {} ({} warps/core, {:.0}% memory instructions)",
-        kernel.name, kernel.warps_per_core, kernel.mem_fraction * 100.0);
+    println!(
+        "kernel: {} ({} warps/core, {:.0}% memory instructions)",
+        kernel.name,
+        kernel.warps_per_core,
+        kernel.mem_fraction * 100.0
+    );
 
     let base = run_benchmark(Preset::BaselineTbDor, &kernel, 1.0);
     let perfect = run_benchmark(Preset::Perfect, &kernel, 1.0);
     let te = run_benchmark(Preset::ThroughputEffective, &kernel, 1.0);
 
     println!("\n{:<24} {:>8} {:>12} {:>10}", "network", "IPC", "net latency", "MC stall");
-    for (name, m) in [("baseline mesh", base), ("perfect network", perfect), ("throughput-effective", te)] {
+    for (name, m) in
+        [("baseline mesh", base), ("perfect network", perfect), ("throughput-effective", te)]
+    {
         println!(
             "{name:<24} {:>8.1} {:>9.1} cyc {:>9.0}%",
             m.ipc,

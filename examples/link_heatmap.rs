@@ -5,10 +5,10 @@
 //!
 //! Run with: `cargo run --release --example link_heatmap`
 
-use tenoc::noc::openloop::TrafficPattern;
-use tenoc::noc::{Interconnect, Mesh, Network, NetworkConfig, Packet, Placement};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use tenoc::noc::openloop::TrafficPattern;
+use tenoc::noc::{Interconnect, Mesh, Network, NetworkConfig, Packet, Placement};
 
 /// Drives request/reply traffic for `cycles` and returns (network, cycles).
 fn drive(cfg: NetworkConfig, rate: f64, cycles: u64) -> Network {

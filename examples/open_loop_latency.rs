@@ -20,8 +20,7 @@ fn main() {
         let rate = i as f64 * 0.012;
         print!("{rate:>6.3}");
         for (_, cfg) in &configs {
-            let mut ol =
-                OpenLoopConfig::new(cfg.clone(), rate, TrafficPattern::UniformRandom);
+            let mut ol = OpenLoopConfig::new(cfg.clone(), rate, TrafficPattern::UniformRandom);
             ol.warmup = 2_000;
             ol.measure = 5_000;
             ol.drain = 10_000;

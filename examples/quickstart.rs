@@ -3,9 +3,9 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
+use tenoc::core::area::{throughput_effectiveness, AreaModel};
 use tenoc::core::experiments::run_benchmark;
 use tenoc::core::presets::Preset;
-use tenoc::core::area::{throughput_effectiveness, AreaModel};
 use tenoc::workloads::by_name;
 
 fn main() {

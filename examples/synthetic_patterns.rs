@@ -31,8 +31,7 @@ fn saturation(routing: RoutingKind, pattern: SynthPattern) -> f64 {
 }
 
 fn main() {
-    let routings =
-        [RoutingKind::DorXy, RoutingKind::O1Turn, RoutingKind::Romm];
+    let routings = [RoutingKind::DorXy, RoutingKind::O1Turn, RoutingKind::Romm];
     println!("saturation throughput (packets/cycle/node), 6x6 mesh, 1-flit packets\n");
     print!("{:>14}", "pattern");
     for r in routings {

@@ -1,0 +1,289 @@
+//! Offline drop-in subset of the `rand` 0.8 API.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the small slice of `rand` it actually uses: the [`Rng`]
+//! extension methods (`gen`, `gen_bool`, `gen_range`), [`SeedableRng`]
+//! seeding from a `u64`, and [`rngs::SmallRng`] backed by a deterministic
+//! xoshiro256++ generator (the same family the real `SmallRng` uses on
+//! 64-bit platforms). Streams are deterministic per seed but are not
+//! bit-compatible with upstream `rand`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Low-level source of randomness: everything derives from `next_u64`.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// User-facing random-value methods, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Samples a value of a standard-distribution type.
+    fn gen<T: distributions::Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool probability out of range: {p}");
+        distributions::unit_f64(self.next_u64()) < p
+    }
+
+    /// Samples uniformly from a range (`a..b` or `a..=b`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R: distributions::SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_from(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Construction of a generator from seed material.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed (expanded via SplitMix64).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Uniform-range sampling used by [`Rng::gen_range`]; `lo + next_u64() %
+/// span` with rejection of the biased tail.
+fn uniform_u64<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    // Rejection sampling: draw until the value falls inside the largest
+    // multiple of `span`, which removes modulo bias.
+    let zone = u64::MAX - (u64::MAX % span);
+    loop {
+        let v = rng.next_u64();
+        if v < zone || zone == 0 {
+            return v % span;
+        }
+    }
+}
+
+pub use rngs::SmallRng;
+
+/// Distribution plumbing for [`Rng::gen`] and [`Rng::gen_range`].
+pub mod distributions {
+    use super::RngCore;
+
+    /// Converts 64 random bits into a uniform `f64` in `[0, 1)`.
+    pub(crate) fn unit_f64(bits: u64) -> f64 {
+        // 53 significand bits give the standard uniform double.
+        (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Types samplable by [`super::Rng::gen`] (the `Standard` distribution).
+    pub trait Standard {
+        /// Draws one value.
+        fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+    }
+
+    macro_rules! impl_standard_int {
+        ($($t:ty),*) => {$(
+            impl Standard for $t {
+                fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Standard for bool {
+        fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Standard for f64 {
+        fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            unit_f64(rng.next_u64())
+        }
+    }
+
+    impl Standard for f32 {
+        fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            unit_f64(rng.next_u64()) as f32
+        }
+    }
+
+    /// Ranges accepted by [`super::Rng::gen_range`]. The element type is a
+    /// trait parameter (as in upstream `rand`) so integer-literal ranges
+    /// infer their type from the call site.
+    pub trait SampleRange<T> {
+        /// Draws one value uniformly from the range.
+        fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    macro_rules! impl_sample_range_int {
+        ($($t:ty),*) => {$(
+            impl SampleRange<$t> for core::ops::Range<$t> {
+                fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    assert!(self.start < self.end, "cannot sample empty range");
+                    let span = (self.end as u64).wrapping_sub(self.start as u64);
+                    self.start + super::uniform_u64(rng, span) as $t
+                }
+            }
+            impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+                fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "cannot sample empty range");
+                    let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                    if span == 0 {
+                        // Full u64 domain.
+                        return rng.next_u64() as $t;
+                    }
+                    lo + super::uniform_u64(rng, span) as $t
+                }
+            }
+        )*};
+    }
+    impl_sample_range_int!(u8, u16, u32, u64, usize);
+
+    macro_rules! impl_sample_range_signed {
+        ($($t:ty),*) => {$(
+            impl SampleRange<$t> for core::ops::Range<$t> {
+                fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    assert!(self.start < self.end, "cannot sample empty range");
+                    let span = (self.end as i64).wrapping_sub(self.start as i64) as u64;
+                    (self.start as i64).wrapping_add(super::uniform_u64(rng, span) as i64) as $t
+                }
+            }
+        )*};
+    }
+    impl_sample_range_signed!(i8, i16, i32, i64, isize);
+
+    impl SampleRange<f64> for core::ops::Range<f64> {
+        fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+            assert!(self.start < self.end, "cannot sample empty range");
+            self.start + unit_f64(rng.next_u64()) * (self.end - self.start)
+        }
+    }
+
+    impl SampleRange<f32> for core::ops::Range<f32> {
+        fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+            assert!(self.start < self.end, "cannot sample empty range");
+            self.start + (unit_f64(rng.next_u64()) as f32) * (self.end - self.start)
+        }
+    }
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// A small, fast, deterministic generator (xoshiro256++).
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let s = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            SmallRng { s }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let [s0, s1, s2, s3] = self.s;
+            let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+            let t = s1 << 17;
+            let mut s = [s0, s1, s2, s3];
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            self.s = s;
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{Rng, SeedableRng, SmallRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    use super::RngCore;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = SmallRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = r.gen_range(3usize..17);
+            assert!((3..17).contains(&v));
+            let w = r.gen_range(5u16..=9);
+            assert!((5..=9).contains(&w));
+            let f = r.gen_range(-1.5f64..2.5);
+            assert!((-1.5..2.5).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut r = SmallRng::seed_from_u64(1);
+        assert!((0..100).all(|_| !r.gen_bool(0.0)));
+        assert!((0..100).all(|_| r.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn gen_bool_rate_tracks_p() {
+        let mut r = SmallRng::seed_from_u64(3);
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.3)).count();
+        assert!((2_700..3_300).contains(&hits), "p=0.3 produced {hits}/10000");
+    }
+
+    #[test]
+    fn uniform_range_covers_all_values() {
+        let mut r = SmallRng::seed_from_u64(9);
+        let mut seen = [false; 6];
+        for _ in 0..500 {
+            seen[r.gen_range(0usize..6)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

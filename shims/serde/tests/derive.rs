@@ -1,0 +1,72 @@
+//! End-to-end checks of the shimmed `#[derive(Serialize, Deserialize)]`
+//! macros (they emit `::serde::` paths, so they can only be exercised from
+//! outside the `serde` crate itself).
+
+use serde::{json, Deserialize, Serialize};
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Inner {
+    label: String,
+    weight: f64,
+}
+
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[repr(u8)]
+enum Mode {
+    Fast = 0,
+    Slow = 1,
+    Adaptive,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Outer {
+    count: u64,
+    offset: i32,
+    mode: Mode,
+    items: Vec<Inner>,
+    maybe: Option<u8>,
+    pair: (u16, bool),
+}
+
+fn sample() -> Outer {
+    Outer {
+        count: u64::MAX,
+        offset: -12,
+        mode: Mode::Adaptive,
+        items: vec![
+            Inner { label: "a\"b".to_string(), weight: 0.1 + 0.2 },
+            Inner { label: String::new(), weight: -1.5 },
+        ],
+        maybe: None,
+        pair: (9, true),
+    }
+}
+
+#[test]
+fn struct_roundtrip_is_exact() {
+    let orig = sample();
+    let text = orig.to_value().to_json_pretty();
+    let back = Outer::from_value(&json::parse(&text).unwrap()).unwrap();
+    assert_eq!(back, orig);
+}
+
+#[test]
+fn enum_serializes_as_variant_name() {
+    assert_eq!(Mode::Fast.to_value(), json::Value::String("Fast".to_string()));
+    let v = json::Value::String("Slow".to_string());
+    assert_eq!(Mode::from_value(&v).unwrap(), Mode::Slow);
+}
+
+#[test]
+fn unknown_variant_is_an_error() {
+    let v = json::Value::String("Bogus".to_string());
+    let err = Mode::from_value(&v).unwrap_err();
+    assert!(err.to_string().contains("Bogus"));
+}
+
+#[test]
+fn missing_field_is_an_error() {
+    let v = json::parse(r#"{"label":"x"}"#).unwrap();
+    let err = Inner::from_value(&v).unwrap_err();
+    assert!(err.to_string().contains("weight"));
+}

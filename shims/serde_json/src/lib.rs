@@ -1,0 +1,59 @@
+//! Offline drop-in subset of the `serde_json` API, delegating to the
+//! vendored `serde` shim's value tree.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use serde::json::{Error, Value};
+
+/// Serializes a value to compact JSON text.
+///
+/// # Errors
+///
+/// Never fails for the shim's self-describing data model; the `Result`
+/// mirrors the upstream signature.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_value().to_json_compact())
+}
+
+/// Serializes a value to pretty-printed JSON text.
+///
+/// # Errors
+///
+/// Never fails for the shim's self-describing data model; the `Result`
+/// mirrors the upstream signature.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_value().to_json_pretty())
+}
+
+/// Parses JSON text into a deserializable value.
+///
+/// # Errors
+///
+/// Returns [`Error`] on malformed JSON or a shape mismatch.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T, Error> {
+    T::from_value(&serde::json::parse(s)?)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scalar_roundtrip() {
+        let text = super::to_string(&42u64).unwrap();
+        assert_eq!(text, "42");
+        let back: u64 = super::from_str(&text).unwrap();
+        assert_eq!(back, 42);
+    }
+
+    #[test]
+    fn vec_roundtrip() {
+        let v = vec![1.5f64, -2.25, 0.0];
+        let back: Vec<f64> = super::from_str(&super::to_string_pretty(&v).unwrap()).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn malformed_input_errors() {
+        assert!(super::from_str::<u64>("not json").is_err());
+    }
+}

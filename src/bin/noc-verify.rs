@@ -1,0 +1,111 @@
+//! `noc-verify` — static verification of the shipped network presets.
+//!
+//! Runs the tenoc-verify channel-dependency-graph analysis over every
+//! named configuration in `tenoc_core::presets` (or one selected with
+//! `--preset`), printing a PASS/FAIL line per preset and the full report
+//! for failures. Exits nonzero if any preset has a violation, so the
+//! check can gate CI.
+//!
+//! ```text
+//! noc-verify [--all-presets] [--preset LABEL] [--k N] [--verbose]
+//! ```
+
+use std::process::ExitCode;
+use tenoc_core::presets::Preset;
+use tenoc_core::system::IcntConfig;
+use tenoc_verify::{analyze, analyze_double, VerifyReport};
+
+const USAGE: &str = "usage: noc-verify [--all-presets] [--preset LABEL] [--k N] [--verbose]
+  --all-presets   verify every named preset (default)
+  --preset LABEL  verify only the preset with this label (e.g. CP-CR-4VC)
+  --k N           mesh radix (default 6, the paper's scale)
+  --verbose       print full reports for passing presets too";
+
+fn main() -> ExitCode {
+    let mut k: usize = 6;
+    let mut verbose = false;
+    let mut preset_filter: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--all-presets" => preset_filter = None,
+            "--preset" => match args.next() {
+                Some(label) => preset_filter = Some(label),
+                None => return usage_error("--preset needs a label"),
+            },
+            "--k" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n >= 2 => k = n,
+                _ => return usage_error("--k needs an integer radix >= 2"),
+            },
+            "--verbose" | "-v" => verbose = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage_error(&format!("unknown argument {other:?}")),
+        }
+    }
+
+    let mut matched = false;
+    let mut any_violation = false;
+    for preset in Preset::NAMED {
+        let label = preset.label();
+        if let Some(ref want) = preset_filter {
+            if !label.eq_ignore_ascii_case(want) {
+                continue;
+            }
+        }
+        matched = true;
+        match checked_report(preset, k) {
+            None => println!("{label:<24} SKIP  (no routed fabric to verify)"),
+            Some(report) if report.is_clean() => {
+                println!(
+                    "{label:<24} PASS  ({} pairs, {} routes, CDG {}v/{}e)",
+                    report.stats.pairs,
+                    report.stats.plans_traced,
+                    report.stats.cdg_vertices,
+                    report.stats.cdg_edges
+                );
+                if verbose {
+                    print!("{report}");
+                }
+            }
+            Some(report) => {
+                any_violation = true;
+                println!("{label:<24} FAIL");
+                print!("{report}");
+            }
+        }
+    }
+
+    if !matched {
+        let labels: Vec<String> = Preset::NAMED.iter().map(|p| p.label()).collect();
+        eprintln!(
+            "no preset labeled {:?}; known presets: {}",
+            preset_filter.unwrap_or_default(),
+            labels.join(", ")
+        );
+        return ExitCode::from(2);
+    }
+    if any_violation {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// The verification report for one preset, or `None` for idealized
+/// interconnects that have no routed fabric.
+fn checked_report(preset: Preset, k: usize) -> Option<VerifyReport> {
+    match preset.icnt(k) {
+        IcntConfig::Mesh(c) => Some(analyze(&c)),
+        IcntConfig::Double(c) => Some(analyze_double(&c)),
+        IcntConfig::Perfect(_) | IcntConfig::BwLimited(..) => None,
+    }
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("noc-verify: {msg}\n{USAGE}");
+    ExitCode::from(2)
+}

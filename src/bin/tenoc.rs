@@ -71,10 +71,8 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else { return usage() };
     let flags = parse_flags(&args[1..]);
-    let scale = flags
-        .get("scale")
-        .and_then(|s| s.parse::<f64>().ok())
-        .unwrap_or_else(scale_from_env);
+    let scale =
+        flags.get("scale").and_then(|s| s.parse::<f64>().ok()).unwrap_or_else(scale_from_env);
 
     match cmd.as_str() {
         "run" => {

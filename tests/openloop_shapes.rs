@@ -3,7 +3,11 @@
 use tenoc::noc::openloop::{run_open_loop, OpenLoopConfig, TrafficPattern};
 use tenoc::noc::{Mesh, NetworkConfig, Placement};
 
-fn quick(cfg: NetworkConfig, rate: f64, pattern: TrafficPattern) -> tenoc::noc::openloop::OpenLoopResult {
+fn quick(
+    cfg: NetworkConfig,
+    rate: f64,
+    pattern: TrafficPattern,
+) -> tenoc::noc::openloop::OpenLoopResult {
     let mut ol = OpenLoopConfig::new(cfg, rate, pattern);
     ol.warmup = 1_500;
     ol.measure = 4_000;
@@ -42,10 +46,7 @@ fn multiport_raises_saturation_over_plain_checkerboard() {
     cp2p.mc_inject_ports = 2;
     let s1 = saturation_rate(&cp, TrafficPattern::UniformRandom);
     let s2 = saturation_rate(&cp2p, TrafficPattern::UniformRandom);
-    assert!(
-        s2 >= s1,
-        "2 injection ports must not lower saturation throughput: {s2} vs {s1}"
-    );
+    assert!(s2 >= s1, "2 injection ports must not lower saturation throughput: {s2} vs {s1}");
 }
 
 #[test]

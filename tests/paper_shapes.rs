@@ -1,9 +1,9 @@
 //! Cross-crate integration tests asserting the *qualitative shapes* of the
 //! paper's headline results on short kernels: who wins, and in what order.
 
+use tenoc::core::area::{throughput_effectiveness, AreaModel};
 use tenoc::core::experiments::{run_benchmark, run_with_icnt};
 use tenoc::core::presets::Preset;
-use tenoc::core::area::{throughput_effectiveness, AreaModel};
 use tenoc::workloads::by_name;
 
 const SCALE: f64 = 0.08;
@@ -33,10 +33,7 @@ fn bandwidth_beats_latency_for_hh() {
     let lat = run_benchmark(Preset::TbDor1Cycle, &spec, SCALE);
     let s_bw = bw.ipc / base.ipc;
     let s_lat = lat.ipc / base.ipc;
-    assert!(
-        s_bw > s_lat,
-        "2x bandwidth ({s_bw:.2}) must beat 1-cycle routers ({s_lat:.2})"
-    );
+    assert!(s_bw > s_lat, "2x bandwidth ({s_bw:.2}) must beat 1-cycle routers ({s_lat:.2})");
     assert!(s_bw > 1.1, "2x bandwidth must clearly help an HH benchmark");
 }
 
