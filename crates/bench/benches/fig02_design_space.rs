@@ -5,7 +5,7 @@
 //! effectiveness (IPC/mm²), plus the improvement over the balanced
 //! baseline mesh.
 
-use tenoc_bench::{experiments, header, Preset};
+use tenoc_bench::{experiments, header, run_suites_par, Preset};
 use tenoc_core::area::{throughput_effectiveness, AreaModel};
 use tenoc_core::arithmetic_mean;
 
@@ -19,12 +19,13 @@ fn main() {
         ("Thr. Eff. (single net)", Preset::CpCr2pSingle),
         ("Ideal NoC", Preset::Perfect),
     ];
+    let presets: Vec<Preset> = points.iter().map(|(_, p)| *p).collect();
+    let suites = run_suites_par(&presets, scale);
     let mut rows = Vec::new();
-    for (label, preset) in points {
-        let results = experiments::run_suite(preset, scale);
+    for ((label, preset), results) in points.iter().zip(&suites) {
         let avg_ipc = arithmetic_mean(results.iter().map(|r| r.metrics.ipc));
         let area = AreaModel::chip_area(&preset.icnt(6));
-        rows.push((label, avg_ipc, area));
+        rows.push((*label, avg_ipc, area));
     }
     let base_te = throughput_effectiveness(rows[0].1, &rows[0].2);
     println!(

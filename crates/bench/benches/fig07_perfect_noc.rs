@@ -2,15 +2,16 @@
 //! per benchmark, with the LL/LH/HH classification.
 
 use tenoc_bench::{
-    experiments, header, hm_of_percent, hm_of_percent_class, print_speedup_rows, Preset,
+    experiments, header, hm_of_percent, hm_of_percent_class, print_speedup_rows, run_suites_par,
+    Preset,
 };
 use tenoc_workloads::TrafficClass;
 
 fn main() {
     header("Figure 7", "speedup of a perfect network over the baseline mesh");
     let scale = experiments::scale_from_env();
-    let base = experiments::run_suite(Preset::BaselineTbDor, scale);
-    let perfect = experiments::run_suite(Preset::Perfect, scale);
+    let [base, perfect]: [_; 2] =
+        run_suites_par(&[Preset::BaselineTbDor, Preset::Perfect], scale).try_into().unwrap();
     let rows = experiments::speedups_percent(&base, &perfect);
     print_speedup_rows(&rows);
     println!("\nHM speedup (all): {:+.1}%   (paper: 36%)", hm_of_percent(&rows));

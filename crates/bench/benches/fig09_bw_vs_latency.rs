@@ -2,14 +2,15 @@
 //! channel width (16 B -> 32 B) against replacing the 4-cycle routers
 //! with aggressive 1-cycle routers.
 
-use tenoc_bench::{experiments, header, hm_of_percent, Preset};
+use tenoc_bench::{experiments, header, hm_of_percent, run_suites_par, Preset};
 
 fn main() {
     header("Figure 9", "2x channel bandwidth vs 1-cycle routers (speedup over baseline)");
     let scale = experiments::scale_from_env();
-    let base = experiments::run_suite(Preset::BaselineTbDor, scale);
-    let bw2 = experiments::run_suite(Preset::TbDor2xBw, scale);
-    let r1 = experiments::run_suite(Preset::TbDor1Cycle, scale);
+    let [base, bw2, r1]: [_; 3] =
+        run_suites_par(&[Preset::BaselineTbDor, Preset::TbDor2xBw, Preset::TbDor1Cycle], scale)
+            .try_into()
+            .unwrap();
     let rows_bw = experiments::speedups_percent(&base, &bw2);
     let rows_r1 = experiments::speedups_percent(&base, &r1);
     println!("{:>6} {:>5} {:>12} {:>14}", "bench", "class", "2x bandwidth", "1-cycle router");

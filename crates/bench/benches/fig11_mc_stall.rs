@@ -1,12 +1,12 @@
 //! Figure 11: fraction of time the MCs' reply injection is blocked by the
 //! network — the many-to-few-to-many bottleneck signal.
 
-use tenoc_bench::{experiments, header, Preset};
+use tenoc_bench::{experiments, header, run_suite_par, Preset};
 
 fn main() {
     header("Figure 11", "fraction of time MC reply injection is blocked (baseline mesh)");
     let scale = experiments::scale_from_env();
-    let base = experiments::run_suite(Preset::BaselineTbDor, scale);
+    let base = run_suite_par(Preset::BaselineTbDor, scale);
     println!("{:>6} {:>5} {:>10}", "bench", "class", "% stalled");
     let mut max = (String::new(), 0.0f64);
     for r in &base {

@@ -2,14 +2,15 @@
 //! routing (half-routers) with 4 VCs, both against DOR with 2 VCs — all
 //! with the staggered checkerboard MC placement.
 
-use tenoc_bench::{experiments, header, hm_of_percent, Preset};
+use tenoc_bench::{experiments, header, hm_of_percent, run_suites_par, Preset};
 
 fn main() {
     header("Figure 17", "CP-DOR-4VC and CP-CR-4VC relative to CP-DOR-2VC");
     let scale = experiments::scale_from_env();
-    let dor2 = experiments::run_suite(Preset::CpDor2vc, scale);
-    let dor4 = experiments::run_suite(Preset::CpDor4vc, scale);
-    let cr4 = experiments::run_suite(Preset::CpCr4vc, scale);
+    let [dor2, dor4, cr4]: [_; 3] =
+        run_suites_par(&[Preset::CpDor2vc, Preset::CpDor4vc, Preset::CpCr4vc], scale)
+            .try_into()
+            .unwrap();
     let rows4 = experiments::speedups_percent(&dor2, &dor4);
     let rowsc = experiments::speedups_percent(&dor2, &cr4);
     println!("{:>6} {:>5} {:>12} {:>12}", "bench", "class", "DOR 4VC", "CR 4VC");

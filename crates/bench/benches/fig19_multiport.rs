@@ -1,15 +1,22 @@
 //! Figure 19: multi-port MC routers — extra injection ports, extra
 //! ejection ports and both, over the double checkerboard network.
 
-use tenoc_bench::{experiments, header, hm_of_percent, Preset};
+use tenoc_bench::{experiments, header, hm_of_percent, run_suites_par, Preset};
 
 fn main() {
     header("Figure 19", "multi-port MC routers over the double CP-CR network");
     let scale = experiments::scale_from_env();
-    let base = experiments::run_suite(Preset::DoubleCpCr, scale);
-    let inj = experiments::run_suite(Preset::DoubleCpCr2InjPorts, scale);
-    let ej = experiments::run_suite(Preset::DoubleCpCr2EjPorts, scale);
-    let both = experiments::run_suite(Preset::DoubleCpCr2Both, scale);
+    let [base, inj, ej, both]: [_; 4] = run_suites_par(
+        &[
+            Preset::DoubleCpCr,
+            Preset::DoubleCpCr2InjPorts,
+            Preset::DoubleCpCr2EjPorts,
+            Preset::DoubleCpCr2Both,
+        ],
+        scale,
+    )
+    .try_into()
+    .unwrap();
     let ri = experiments::speedups_percent(&base, &inj);
     let re = experiments::speedups_percent(&base, &ej);
     let rb = experiments::speedups_percent(&base, &both);

@@ -3,7 +3,8 @@
 //! versus the baseline top-bottom DOR mesh.
 
 use tenoc_bench::{
-    experiments, header, hm_of_percent, hm_of_percent_class, print_speedup_rows, Preset,
+    experiments, header, hm_of_percent, hm_of_percent_class, print_speedup_rows, run_suites_par,
+    Preset,
 };
 use tenoc_core::area::AreaModel;
 use tenoc_workloads::TrafficClass;
@@ -11,8 +12,12 @@ use tenoc_workloads::TrafficClass;
 fn main() {
     header("Figure 20", "combined throughput-effective design vs baseline");
     let scale = experiments::scale_from_env();
-    let base = experiments::run_suite(Preset::BaselineTbDor, scale);
-    let te = experiments::run_suite(Preset::ThroughputEffective, scale);
+    let [base, te, single]: [_; 3] = run_suites_par(
+        &[Preset::BaselineTbDor, Preset::ThroughputEffective, Preset::CpCr2pSingle],
+        scale,
+    )
+    .try_into()
+    .unwrap();
     let rows = experiments::speedups_percent(&base, &te);
     print_speedup_rows(&rows);
     println!("\nHM speedup: {:+.1}% (paper: 17%)", hm_of_percent(&rows));
@@ -37,7 +42,6 @@ fn main() {
     // stricter bandwidth accounting, the 50/50 slice caps saturated reply
     // throughput below the single network (see EXPERIMENTS.md), so the
     // single-network combination better isolates the CP+CR+2P gains.
-    let single = experiments::run_suite(Preset::CpCr2pSingle, scale);
     let rows_s = experiments::speedups_percent(&base, &single);
     let s_area = AreaModel::chip_area(&Preset::CpCr2pSingle.icnt(6));
     let s_ratio = 1.0 + tenoc_bench::hm_of_percent(&rows_s) / 100.0;

@@ -7,13 +7,13 @@
 //! benchmarks must fall into LL, LH or HH (an HL kernel — light traffic
 //! yet network-sensitive — should not exist).
 
-use tenoc_bench::{experiments, header, Preset};
+use tenoc_bench::{experiments, header, run_suites_par, Preset};
 
 fn main() {
     header("Table I / Sec. III-B", "measured LL/LH/HH classification");
     let scale = experiments::scale_from_env();
-    let base = experiments::run_suite(Preset::BaselineTbDor, scale);
-    let perfect = experiments::run_suite(Preset::Perfect, scale);
+    let [base, perfect]: [_; 2] =
+        run_suites_par(&[Preset::BaselineTbDor, Preset::Perfect], scale).try_into().unwrap();
     println!(
         "{:>6} {:>8} {:>9} {:>12} {:>9} {:>6}",
         "bench", "intended", "speedup", "B/cyc/node", "measured", "match"

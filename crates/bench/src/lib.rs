@@ -25,23 +25,76 @@
 //! Run all of them with `cargo bench --workspace`. By default kernels are
 //! scaled down (`TENOC_SCALE`, default 0.12) so the full set finishes in
 //! minutes; set `TENOC_FULL=1` for full-length runs.
+//!
+//! Suite sweeps fan out over `tenoc-harness`'s worker pool (one cell per
+//! `(preset, benchmark)` pair): `TENOC_JOBS=N` picks the worker count,
+//! defaulting to the machine's available parallelism. Results are
+//! bit-identical at any job count and reproduce exactly what the old
+//! sequential loops printed (every cell pins the system default seed).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use tenoc_core::experiments::SuiteResult;
+use tenoc_harness::{engine, SeedMode, SweepGrid};
 use tenoc_workloads::TrafficClass;
 
 pub use tenoc_core::experiments;
 pub use tenoc_core::presets::Preset;
 
+/// Workload seed of every bench cell: the closed-loop system's default,
+/// pinned so the engine reproduces the sequential loops' numbers.
+const BENCH_SEED: u64 = 0x7e0c;
+
 /// Prints a standard figure header with the scale in effect.
 pub fn header(fig: &str, what: &str) {
     let scale = tenoc_core::experiments::scale_from_env();
+    let jobs = tenoc_harness::jobs_from_env();
     println!("================================================================");
     println!("{fig}: {what}");
-    println!("(kernel scale {scale}; TENOC_FULL=1 for full-length runs)");
+    println!("(kernel scale {scale}; TENOC_FULL=1 for full-length runs; {jobs} jobs)");
     println!("================================================================");
+}
+
+/// Runs each preset's full 31-benchmark suite through the parallel sweep
+/// engine, returning one result list per preset in suite order.
+///
+/// Equivalent to mapping [`experiments::run_suite`] over `presets`, but
+/// all `presets x benchmarks` cells share one worker pool, so the grid
+/// parallelizes across `TENOC_JOBS` workers instead of running strictly
+/// sequentially.
+///
+/// # Panics
+///
+/// Panics if any run hits the safety cycle limit (closed-loop runs must
+/// always drain).
+pub fn run_suites_par(presets: &[Preset], scale: f64) -> Vec<Vec<SuiteResult>> {
+    let names: Vec<String> = tenoc_workloads::suite().iter().map(|s| s.name.clone()).collect();
+    let grid =
+        SweepGrid::new(presets.to_vec(), names, scale).with_seed_mode(SeedMode::Fixed(BENCH_SEED));
+    let results = engine::run_grid(&grid, tenoc_harness::jobs_from_env());
+    results
+        .chunks(grid.benchmarks.len())
+        .map(|chunk| {
+            chunk
+                .iter()
+                .map(|r| SuiteResult {
+                    name: r.cell.benchmark.clone(),
+                    class: r.class,
+                    metrics: r.metrics,
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Runs one preset's whole suite through the parallel sweep engine.
+///
+/// # Panics
+///
+/// Panics if any run hits the safety cycle limit.
+pub fn run_suite_par(preset: Preset, scale: f64) -> Vec<SuiteResult> {
+    run_suites_par(&[preset], scale).pop().expect("one preset in, one sweep out")
 }
 
 /// Prints one per-benchmark percentage row set.

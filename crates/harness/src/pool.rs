@@ -1,0 +1,88 @@
+//! Scoped-thread worker pool over an indexed work list.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Runs `f(0..n)` across `jobs` scoped worker threads and returns the
+/// results in index order.
+///
+/// Workers claim indices from a shared atomic cursor (idle workers steal
+/// whatever work remains), so an expensive cell never serializes the
+/// cheap ones behind it. Each result lands in its own pre-allocated slot,
+/// which keeps the output order — and therefore everything downstream —
+/// independent of the thread schedule. With `jobs <= 1` the work runs
+/// inline on the caller's thread.
+///
+/// # Panics
+///
+/// Propagates any panic raised by `f` once all workers have joined.
+pub fn run_indexed<T, F>(n: usize, jobs: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let jobs = jobs.max(1).min(n.max(1));
+    if jobs <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let value = f(i);
+                *slots[i].lock().expect("slot lock poisoned") = Some(value);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner().expect("slot lock poisoned").expect("worker filled every slot")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_index_order() {
+        for jobs in [1, 2, 4, 8] {
+            let out = run_indexed(33, jobs, |i| i * i);
+            assert_eq!(out, (0..33).map(|i| i * i).collect::<Vec<_>>(), "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn empty_work_list() {
+        let out: Vec<usize> = run_indexed(0, 4, |i| i);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn more_jobs_than_items() {
+        let out = run_indexed(2, 16, |i| i + 1);
+        assert_eq!(out, vec![1, 2]);
+    }
+
+    #[test]
+    fn every_index_runs_exactly_once() {
+        let counts: Vec<AtomicUsize> = (0..100).map(|_| AtomicUsize::new(0)).collect();
+        run_indexed(100, 4, |i| counts[i].fetch_add(1, Ordering::SeqCst));
+        for (i, c) in counts.iter().enumerate() {
+            assert_eq!(c.load(Ordering::SeqCst), 1, "index {i}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "scoped thread panicked")]
+    fn worker_panics_propagate() {
+        run_indexed(8, 2, |i| if i == 5 { panic!("deliberate") } else { i });
+    }
+}

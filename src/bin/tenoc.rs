@@ -3,6 +3,9 @@
 //! ```text
 //! tenoc run --benchmark RD --preset thr-eff [--scale 0.2] [--json]
 //! tenoc suite --preset baseline [--scale 0.12] [--json]
+//! tenoc sweep [--presets baseline,thr-eff|all] [--benchmarks HIS,MM|smoke|all]
+//!             [--scale 0.12] [--seed N] [--jobs N] [--out FILE]
+//!             [--tiny] [--golden FILE --check|--bless]
 //! tenoc openloop --preset cp-cr-2p [--hotspot] [--rates 0.01..0.12]
 //! tenoc area
 //! tenoc classify [--scale 0.12]
@@ -58,6 +61,9 @@ fn usage() -> ExitCode {
          commands:\n\
            run       --benchmark <ABBR> --preset <NAME> [--scale F] [--json]\n\
            suite     --preset <NAME> [--scale F] [--json]\n\
+           sweep     [--presets A,B|all] [--benchmarks X,Y|smoke|all] [--scale F]\n\
+                     [--seed N] [--jobs N] [--out FILE]\n\
+                     [--tiny] [--golden FILE --check|--bless]\n\
            openloop  --preset <NAME> [--hotspot] [--rate F]\n\
            area      (Table VI summary)\n\
            classify  [--scale F] (measured LL/LH/HH classes)\n\
@@ -117,6 +123,7 @@ fn main() -> ExitCode {
                 println!("\nHM IPC: {:.1}", report.hm_ipc());
             }
         }
+        "sweep" => return cmd_sweep(&flags, scale),
         "openloop" => {
             let Some(preset) = flags.get("preset").and_then(|p| preset_by_flag(p)) else {
                 eprintln!("openloop: missing or unknown --preset");
@@ -207,4 +214,114 @@ fn serde_json_line(name: &str, preset: Preset, m: &tenoc::core::RunMetrics) -> S
         preset.label(),
         serde_json::to_string(m).expect("metrics are plain data")
     )
+}
+
+/// `tenoc sweep`: fan a (preset x benchmark) grid over the worker pool and
+/// emit JSON-lines records, optionally checking or refreshing a golden
+/// snapshot.
+fn cmd_sweep(flags: &HashMap<String, String>, scale: f64) -> ExitCode {
+    use tenoc::harness::{check_fingerprints, engine, from_jsonl, to_jsonl, SeedMode, SweepGrid};
+
+    let grid = if flags.contains_key("tiny") {
+        tenoc::harness::tiny_grid()
+    } else {
+        let presets = match flags.get("presets").map(String::as_str) {
+            None => vec![Preset::BaselineTbDor],
+            Some("all") => Preset::NAMED.to_vec(),
+            Some(list) => {
+                let mut out = Vec::new();
+                for name in list.split(',') {
+                    let Some(p) = preset_by_flag(name) else {
+                        eprintln!("sweep: unknown preset {name}");
+                        return usage();
+                    };
+                    out.push(p);
+                }
+                out
+            }
+        };
+        let benchmarks: Vec<String> = match flags.get("benchmarks").map(String::as_str) {
+            None | Some("smoke") => {
+                tenoc::workloads::smoke_suite().iter().map(|s| s.name.clone()).collect()
+            }
+            Some("all") => suite().iter().map(|s| s.name.clone()).collect(),
+            Some(list) => {
+                let mut out = Vec::new();
+                for name in list.split(',') {
+                    if by_name(name).is_none() {
+                        eprintln!("sweep: unknown benchmark {name}; see `tenoc list`");
+                        return ExitCode::FAILURE;
+                    }
+                    out.push(name.to_owned());
+                }
+                out
+            }
+        };
+        let seed = flags.get("seed").and_then(|s| s.parse::<u64>().ok()).unwrap_or(0x7e0c);
+        SweepGrid::new(presets, benchmarks, scale).with_seed_mode(SeedMode::Derived(seed))
+    };
+
+    let jobs = flags
+        .get("jobs")
+        .and_then(|j| j.parse::<usize>().ok())
+        .filter(|&j| j >= 1)
+        .unwrap_or_else(tenoc::harness::jobs_from_env);
+    eprintln!(
+        "sweep: {} cells ({} presets x {} benchmarks) at scale {}, {} jobs",
+        grid.len(),
+        grid.presets.len(),
+        grid.benchmarks.len(),
+        grid.scale,
+        jobs
+    );
+    let records = engine::run_sweep(&grid, jobs);
+    let jsonl = to_jsonl(&records);
+
+    if let Some(path) = flags.get("out") {
+        if let Err(e) = std::fs::write(path, &jsonl) {
+            eprintln!("sweep: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("sweep: wrote {} records to {path}", records.len());
+    } else {
+        print!("{jsonl}");
+    }
+
+    if let Some(golden_path) = flags.get("golden") {
+        if flags.contains_key("bless") {
+            if let Err(e) = std::fs::write(golden_path, &jsonl) {
+                eprintln!("sweep: cannot bless {golden_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("sweep: blessed golden snapshot {golden_path}");
+        } else if flags.contains_key("check") {
+            let golden_text = match std::fs::read_to_string(golden_path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("sweep: cannot read golden {golden_path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let golden = match from_jsonl(&golden_text) {
+                Ok(g) => g,
+                Err(e) => {
+                    eprintln!("sweep: malformed golden {golden_path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            if let Err(problems) = check_fingerprints(&records, &golden) {
+                eprintln!("sweep: golden mismatch against {golden_path}:");
+                for p in &problems {
+                    eprintln!("  {p}");
+                }
+                eprintln!("re-run with --bless to accept the new numbers");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("sweep: {} records match the golden snapshot", records.len());
+        } else {
+            eprintln!("sweep: --golden needs --check or --bless");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
 }

@@ -13,6 +13,9 @@
 //! * [`core`] — the closed-loop accelerator system simulator, configuration
 //!   presets for every paper design point, the ORION-calibrated area model
 //!   and the throughput-effectiveness analysis.
+//! * [`harness`] — the parallel deterministic experiment engine: sweep
+//!   grids over a worker pool, JSON-lines [`harness::RunRecord`]s with
+//!   stable fingerprints, and golden-snapshot regression checks.
 //!
 //! See `README.md` for a quickstart and `EXPERIMENTS.md` for the
 //! paper-vs-measured record of every figure and table.
@@ -20,6 +23,7 @@
 pub use tenoc_cache as cache;
 pub use tenoc_core as core;
 pub use tenoc_dram as dram;
+pub use tenoc_harness as harness;
 pub use tenoc_noc as noc;
 pub use tenoc_simt as simt;
 pub use tenoc_workloads as workloads;

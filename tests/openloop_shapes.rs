@@ -1,7 +1,18 @@
 //! Integration tests of the open-loop harness (Figure 21 shapes).
+//!
+//! Runs are pinned: window lengths are fixed in [`quick`] and the traffic
+//! seed is pinned to `PINNED_SEED` explicitly, so the saturation sweeps
+//! and latency bands below are deterministic across processes and hosts.
+//! The comparisons use tolerance bands (`* 1.05`, `>=` rather than `>`)
+//! where two configs can legitimately tie at these short windows.
 
 use tenoc::noc::openloop::{run_open_loop, OpenLoopConfig, TrafficPattern};
 use tenoc::noc::{Mesh, NetworkConfig, Placement};
+
+/// Traffic RNG seed for every open-loop run in this file (the upstream
+/// default, restated here so a default change cannot silently move the
+/// calibrated bands).
+const PINNED_SEED: u64 = 0x0f21;
 
 fn quick(
     cfg: NetworkConfig,
@@ -12,7 +23,17 @@ fn quick(
     ol.warmup = 1_500;
     ol.measure = 4_000;
     ol.drain = 8_000;
+    ol.seed = PINNED_SEED;
     run_open_loop(&ol)
+}
+
+#[test]
+fn openloop_runs_are_deterministic() {
+    let tb = NetworkConfig::baseline_mesh(6);
+    let a = quick(tb.clone(), 0.02, TrafficPattern::UniformRandom);
+    let b = quick(tb, 0.02, TrafficPattern::UniformRandom);
+    assert_eq!(a.avg_latency.to_bits(), b.avg_latency.to_bits());
+    assert_eq!(a.accepted.to_bits(), b.accepted.to_bits());
 }
 
 /// Saturation throughput of a config under uniform many-to-few traffic:
