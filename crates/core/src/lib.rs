@@ -49,3 +49,4 @@ pub use power::{HopEnergy, PowerModel};
 pub use presets::Preset;
 pub use report::SweepReport;
 pub use system::{IcntConfig, System, SystemConfig};
+pub use tenoc_noc::Tick;

@@ -3,7 +3,7 @@
 
 use crate::grid::{SweepCell, SweepGrid};
 use crate::pool::run_indexed;
-use crate::record::RunRecord;
+use crate::record::{RunPerf, RunRecord};
 use tenoc_core::area::{throughput_effectiveness, AreaModel};
 use tenoc_core::experiments::run_with_system_config;
 use tenoc_core::{ClockConfig, PowerModel, RunMetrics, SystemConfig};
@@ -18,6 +18,8 @@ pub struct CellResult {
     pub class: TrafficClass,
     /// Closed-loop metrics.
     pub metrics: RunMetrics,
+    /// Wall-clock nanoseconds the simulation took.
+    pub wall_nanos: u64,
 }
 
 /// Runs one cell to completion.
@@ -31,8 +33,10 @@ pub fn run_cell(cell: &SweepCell) -> CellResult {
         .unwrap_or_else(|| panic!("unknown benchmark {}", cell.benchmark));
     let mut cfg = SystemConfig::with_icnt(cell.preset.icnt(cell.mesh_k));
     cfg.seed = cell.seed;
+    let start = std::time::Instant::now();
     let metrics = run_with_system_config(cfg, &spec, cell.scale);
-    CellResult { cell: cell.clone(), class: spec.class, metrics }
+    let wall_nanos = start.elapsed().as_nanos() as u64;
+    CellResult { cell: cell.clone(), class: spec.class, metrics, wall_nanos }
 }
 
 /// Runs every cell of `grid` across `jobs` workers, returning raw results
@@ -77,6 +81,7 @@ pub fn annotate(result: &CellResult) -> RunRecord {
         ipc_per_mm2: throughput_effectiveness(result.metrics.ipc, &area),
         noc_dynamic_power_w: power,
         fingerprint: String::new(),
+        perf: RunPerf::measure(result.metrics.icnt_cycles, result.wall_nanos),
     };
     record.seal();
     record

@@ -11,8 +11,9 @@
 //!   bandwidth budget has not already been exhausted this cycle.
 
 use crate::interconnect::Interconnect;
-use crate::packet::{EjectedPacket, Packet};
+use crate::packet::{EjectedPacket, Packet, PacketHeader};
 use crate::stats::NetStats;
+use crate::tick::Tick;
 use crate::types::NodeId;
 use std::collections::VecDeque;
 
@@ -39,6 +40,13 @@ impl PerfectInterconnect {
     }
 }
 
+impl Tick for PerfectInterconnect {
+    fn tick(&mut self) {
+        self.cycle += 1;
+        self.stats.cycles += 1;
+    }
+}
+
 impl Interconnect for PerfectInterconnect {
     fn try_inject(&mut self, node: NodeId, mut packet: Packet) -> Result<(), Packet> {
         self.stats.inject_attempts_by_node[node] += 1;
@@ -48,7 +56,7 @@ impl Interconnect for PerfectInterconnect {
         hdr.id = self.next_id;
         self.next_id += 1;
         hdr.flits = flits;
-        if hdr.created == 0 {
+        if hdr.created == PacketHeader::CREATED_UNSET {
             hdr.created = self.cycle;
         }
         hdr.injected = self.cycle;
@@ -61,11 +69,6 @@ impl Interconnect for PerfectInterconnect {
 
     fn pop(&mut self, node: NodeId) -> Option<EjectedPacket> {
         self.queues[node].pop_front()
-    }
-
-    fn step(&mut self) {
-        self.cycle += 1;
-        self.stats.cycles += 1;
     }
 
     fn cycle(&self) -> u64 {
@@ -117,6 +120,16 @@ impl BandwidthLimitedInterconnect {
     }
 }
 
+impl Tick for BandwidthLimitedInterconnect {
+    fn tick(&mut self) {
+        self.cycle += 1;
+        self.stats.cycles += 1;
+        // Unused budget does not accumulate beyond one cycle's worth, but a
+        // deficit from an over-accepted packet carries over.
+        self.budget = (self.budget + self.flits_per_cycle).min(self.flits_per_cycle);
+    }
+}
+
 impl Interconnect for BandwidthLimitedInterconnect {
     fn try_inject(&mut self, node: NodeId, mut packet: Packet) -> Result<(), Packet> {
         self.stats.inject_attempts_by_node[node] += 1;
@@ -130,7 +143,7 @@ impl Interconnect for BandwidthLimitedInterconnect {
         hdr.id = self.next_id;
         self.next_id += 1;
         hdr.flits = flits;
-        if hdr.created == 0 {
+        if hdr.created == PacketHeader::CREATED_UNSET {
             hdr.created = self.cycle;
         }
         hdr.injected = self.cycle;
@@ -144,14 +157,6 @@ impl Interconnect for BandwidthLimitedInterconnect {
 
     fn pop(&mut self, node: NodeId) -> Option<EjectedPacket> {
         self.queues[node].pop_front()
-    }
-
-    fn step(&mut self) {
-        self.cycle += 1;
-        self.stats.cycles += 1;
-        // Unused budget does not accumulate beyond one cycle's worth, but a
-        // deficit from an over-accepted packet carries over.
-        self.budget = (self.budget + self.flits_per_cycle).min(self.flits_per_cycle);
     }
 
     fn cycle(&self) -> u64 {

@@ -3,6 +3,7 @@
 
 use crate::packet::{EjectedPacket, Packet};
 use crate::stats::NetStats;
+use crate::tick::Tick;
 use crate::types::NodeId;
 
 /// A network as seen from its terminals.
@@ -12,7 +13,11 @@ use crate::types::NodeId;
 /// [`crate::PerfectInterconnect`] (zero latency, infinite bandwidth) and
 /// [`crate::BandwidthLimitedInterconnect`] (zero latency, capped aggregate
 /// bandwidth).
-pub trait Interconnect {
+///
+/// Cycle advancement comes from the [`Tick`] supertrait: every
+/// implementation's clock edge is `Tick::tick`, and [`Interconnect::step`]
+/// is a provided alias kept for terminal-side callers.
+pub trait Interconnect: Tick {
     /// Offers a packet for injection at `node`.
     ///
     /// # Errors
@@ -26,8 +31,10 @@ pub trait Interconnect {
     /// Removes the next packet ejected at `node`, if any.
     fn pop(&mut self, node: NodeId) -> Option<EjectedPacket>;
 
-    /// Advances the interconnect by one cycle.
-    fn step(&mut self);
+    /// Advances the interconnect by one cycle (alias for [`Tick::tick`]).
+    fn step(&mut self) {
+        self.tick();
+    }
 
     /// Current cycle (number of `step` calls so far).
     fn cycle(&self) -> u64;

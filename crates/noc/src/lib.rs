@@ -45,6 +45,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod activeset;
 pub mod arbiter;
 pub mod audit;
 pub mod buffer;
@@ -59,9 +60,11 @@ pub mod router;
 pub mod routing;
 pub mod stats;
 pub mod synthetic;
+pub mod tick;
 pub mod topology;
 pub mod types;
 
+pub use activeset::ActiveSet;
 pub use config::{AllocatorKind, NetworkConfig, RouterTiming, RoutingKind, VcLayout};
 pub use ideal::{BandwidthLimitedInterconnect, PerfectInterconnect};
 pub use interconnect::Interconnect;
@@ -69,5 +72,6 @@ pub use network::{DoubleNetwork, Network};
 pub use packet::{EjectedPacket, Flit, Packet, PacketClass, PacketHeader, Phase};
 pub use routing::{OutPort, RouteDecision, VcSet};
 pub use stats::NetStats;
+pub use tick::Tick;
 pub use topology::{Mesh, Placement, RouterKind};
 pub use types::{Coord, Direction, NodeId};

@@ -1,6 +1,7 @@
 //! A complete single physical network (routers + channels + network
 //! interfaces), and the channel-sliced double network.
 
+use crate::activeset::ActiveSet;
 use crate::channel::Channel;
 use crate::config::NetworkConfig;
 use crate::interconnect::Interconnect;
@@ -8,6 +9,7 @@ use crate::packet::{EjectedPacket, Packet, PacketClass, PacketHeader};
 use crate::router::{RouteCtx, Router, RouterOutputs};
 use crate::routing::{self};
 use crate::stats::NetStats;
+use crate::tick::Tick;
 use crate::types::{Direction, NodeId};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -43,6 +45,15 @@ pub struct Network {
     rng: SmallRng,
     next_pkt_id: u64,
     scratch: RouterOutputs,
+    /// Nodes with (possible) work this cycle. Nodes are woken by flit
+    /// arrival, credit return, or NI injection, and retired when provably
+    /// idle; see [`Network::node_idle`].
+    active: ActiveSet,
+    /// Compatibility mode: step every node every cycle (the pre-scheduler
+    /// behavior) instead of only the active set.
+    full_sweep: bool,
+    /// Router `step` invocations since construction (scheduler telemetry).
+    routers_stepped: u64,
 }
 
 impl Network {
@@ -86,8 +97,28 @@ impl Network {
             rng: SmallRng::seed_from_u64(cfg.seed),
             next_pkt_id: 1,
             scratch: RouterOutputs::default(),
+            active: ActiveSet::all(n),
+            full_sweep: false,
+            routers_stepped: 0,
             cfg,
         }
+    }
+
+    /// Forces the pre-scheduler full sweep: every node is stepped every
+    /// cycle regardless of the active set. Wake events are still recorded,
+    /// so the mode can be toggled mid-run without losing nodes.
+    pub fn set_full_sweep(&mut self, on: bool) {
+        self.full_sweep = on;
+    }
+
+    /// Number of nodes currently in the active set.
+    pub fn active_routers(&self) -> usize {
+        self.active.count()
+    }
+
+    /// Total router `step` invocations since construction.
+    pub fn routers_stepped(&self) -> u64 {
+        self.routers_stepped
     }
 
     /// The network's configuration.
@@ -116,73 +147,75 @@ impl Network {
         out
     }
 
-    fn stream_ni(&mut self, now: u64) {
-        for node in 0..self.cfg.mesh.len() {
-            for port in 0..self.ni[node].len() {
-                let Some(mut pkt) = self.ni[node][port] else { continue };
-                let in_port = 4 + port;
-                // Choose the VC once, at head injection.
-                if pkt.vc.is_none() {
-                    let set = routing::vc_set_for(
-                        self.cfg.routing,
-                        &self.cfg.vcs,
-                        pkt.hdr.class,
-                        pkt.hdr.phase,
-                    );
-                    let router = &self.routers[node];
-                    let best = set
-                        .iter()
-                        .map(|vc| (router.inject_space(port, vc), vc))
-                        .filter(|&(space, _)| space > 0)
-                        .max_by_key(|&(space, vc)| (space, std::cmp::Reverse(vc)));
-                    match best {
-                        Some((_, vc)) => {
-                            pkt.vc = Some(vc);
-                            pkt.hdr.injected = now;
-                        }
-                        None => {
-                            self.ni[node][port] = Some(pkt);
-                            continue;
-                        }
+    /// NI phase for one node: streams one flit per busy injection port
+    /// into the router, choosing each packet's VC at head injection.
+    fn stream_ni_node(&mut self, node: NodeId, now: u64) {
+        for port in 0..self.ni[node].len() {
+            let Some(mut pkt) = self.ni[node][port] else { continue };
+            let in_port = 4 + port;
+            // Choose the VC once, at head injection.
+            if pkt.vc.is_none() {
+                let set = routing::vc_set_for(
+                    self.cfg.routing,
+                    &self.cfg.vcs,
+                    pkt.hdr.class,
+                    pkt.hdr.phase,
+                );
+                let router = &self.routers[node];
+                let best = set
+                    .iter()
+                    .map(|vc| (router.inject_space(port, vc), vc))
+                    .filter(|&(space, _)| space > 0)
+                    .max_by_key(|&(space, vc)| (space, std::cmp::Reverse(vc)));
+                match best {
+                    Some((_, vc)) => {
+                        pkt.vc = Some(vc);
+                        pkt.hdr.injected = now;
+                    }
+                    None => {
+                        self.ni[node][port] = Some(pkt);
+                        continue;
                     }
                 }
-                let vc = pkt.vc.expect("vc chosen above");
-                // Stream one flit per cycle while space remains.
-                if self.routers[node].inject_space(port, vc) > 0 {
-                    let flit = crate::packet::Flit { hdr: pkt.hdr, seq: pkt.next_seq };
-                    self.routers[node].accept_flit(in_port, vc, flit, now);
-                    pkt.next_seq += 1;
-                }
-                self.ni[node][port] = if pkt.next_seq >= pkt.hdr.flits { None } else { Some(pkt) };
+            }
+            let vc = pkt.vc.expect("vc chosen above");
+            // Stream one flit per cycle while space remains.
+            if self.routers[node].inject_space(port, vc) > 0 {
+                let flit = crate::packet::Flit { hdr: pkt.hdr, seq: pkt.next_seq };
+                self.routers[node].accept_flit(in_port, vc, flit, now);
+                pkt.next_seq += 1;
+            }
+            self.ni[node][port] = if pkt.next_seq >= pkt.hdr.flits { None } else { Some(pkt) };
+        }
+    }
+
+    /// Delivery phase for one node, receiver-centric: pops this node's due
+    /// incoming flits (from each neighbor's channel toward it) and due
+    /// returning credits (from its own outgoing channels).
+    ///
+    /// Every channel FIFO is drained by exactly one receiver, so visiting
+    /// receivers in any order yields the same post-phase state as the old
+    /// sender-ordered collect-then-apply sweep.
+    fn deliver_node(&mut self, node: NodeId, now: u64) {
+        for dir in Direction::ALL {
+            let Some(neighbor) = self.cfg.mesh.neighbor(node, dir) else { continue };
+            // The neighbor toward `dir` sends to us on its outgoing
+            // channel toward `dir.opposite()`.
+            let inbound = neighbor * 4 + dir.opposite().index();
+            while let Some((vc, flit)) = self.channels[inbound].pop_flit(now) {
+                self.routers[node].accept_flit(dir.index(), vc, flit, now);
+            }
+            let outbound = node * 4 + dir.index();
+            while let Some(vc) = self.channels[outbound].pop_credit(now) {
+                self.routers[node].accept_credit(dir.index(), vc);
             }
         }
     }
 
-    fn deliver_channels(&mut self, now: u64) {
-        let mesh = &self.cfg.mesh;
-        // (dst_router, in_port, vc, flit) and (router, out_port, vc)
-        let mut flits = Vec::new();
-        let mut credits = Vec::new();
-        for node in 0..mesh.len() {
-            for dir in Direction::ALL {
-                let idx = node * 4 + dir.index();
-                if let Some(neighbor) = mesh.neighbor(node, dir) {
-                    let ch = &mut self.channels[idx];
-                    while let Some((vc, flit)) = ch.pop_flit(now) {
-                        flits.push((neighbor, dir.opposite().index(), vc, flit));
-                    }
-                    while let Some(vc) = ch.pop_credit(now) {
-                        credits.push((node, dir.index(), vc));
-                    }
-                }
-            }
-        }
-        for (dst, in_port, vc, flit) in flits {
-            self.routers[dst].accept_flit(in_port, vc, flit, now);
-        }
-        for (node, out_port, vc) in credits {
-            self.routers[node].accept_credit(out_port, vc);
-        }
+    /// Returns due ejection-buffer credits to their routers. Global (not
+    /// per-node): a retired router can safely absorb a credit — with no
+    /// buffered flits the credit cannot enable work.
+    fn return_eject_credits(&mut self, now: u64) {
         while let Some(&(due, node, out_port, vc)) = self.eject_credits.front() {
             if due > now {
                 break;
@@ -192,44 +225,122 @@ impl Network {
         }
     }
 
-    fn step_routers(&mut self, now: u64) {
-        for node in 0..self.cfg.mesh.len() {
-            let timing = self.routers[node].timing();
-            let flit_delay = timing.st_delay + self.cfg.link_latency as u64 + 1;
-            self.scratch.clear();
-            {
-                let ctx = RouteCtx {
-                    mesh: &self.cfg.mesh,
-                    routing: self.cfg.routing,
-                    layout: self.cfg.vcs,
-                };
-                self.routers[node].step(now, &ctx, &mut self.scratch);
-            }
-            for i in 0..self.scratch.flits.len() {
-                let (out_port, vc, flit) = self.scratch.flits[i];
-                if out_port < 4 {
-                    self.channels[node * 4 + out_port].push_flit(now + flit_delay, vc, flit);
-                } else {
-                    // Ejection: the sink consumes immediately and returns
-                    // the buffer credit next cycle.
-                    self.eject_credits.push_back((now + 1, node, out_port, vc));
-                    if flit.is_tail() {
-                        let pkt = EjectedPacket { header: flit.hdr, ejected: now };
-                        self.stats.record_ejection(&pkt);
-                        self.ejected[node].push_back(pkt);
-                    }
-                }
-            }
-            for i in 0..self.scratch.credits.len() {
-                let (in_dir, vc) = self.scratch.credits[i];
-                let upstream = self
+    /// Router phase for one node: runs the pipeline and routes emitted
+    /// flits/credits onto channels, waking the receiving nodes.
+    fn step_router_node(&mut self, node: NodeId, now: u64) {
+        self.routers_stepped += 1;
+        let timing = self.routers[node].timing();
+        let flit_delay = timing.st_delay + self.cfg.link_latency as u64 + 1;
+        self.scratch.clear();
+        {
+            let ctx =
+                RouteCtx { mesh: &self.cfg.mesh, routing: self.cfg.routing, layout: self.cfg.vcs };
+            self.routers[node].step(now, &ctx, &mut self.scratch);
+        }
+        for i in 0..self.scratch.flits.len() {
+            let (out_port, vc, flit) = self.scratch.flits[i];
+            if out_port < 4 {
+                self.channels[node * 4 + out_port].push_flit(now + flit_delay, vc, flit);
+                let neighbor = self
                     .cfg
                     .mesh
-                    .neighbor(node, in_dir)
-                    .expect("credit for a direction port implies a neighbor");
-                self.channels[upstream * 4 + in_dir.opposite().index()].push_credit(now + 1, vc);
+                    .neighbor(node, Direction::from_index(out_port))
+                    .expect("router checked the direction exists");
+                self.active.insert(neighbor);
+            } else {
+                // Ejection: the sink consumes immediately and returns
+                // the buffer credit next cycle.
+                debug_assert!(
+                    self.eject_credits.back().is_none_or(|&(due, ..)| due <= now + 1),
+                    "eject credit queue must stay due-ordered"
+                );
+                self.eject_credits.push_back((now + 1, node, out_port, vc));
+                if flit.is_tail() {
+                    let pkt = EjectedPacket { header: flit.hdr, ejected: now };
+                    self.stats.record_ejection(&pkt);
+                    self.ejected[node].push_back(pkt);
+                }
             }
         }
+        for i in 0..self.scratch.credits.len() {
+            let (in_dir, vc) = self.scratch.credits[i];
+            let upstream = self
+                .cfg
+                .mesh
+                .neighbor(node, in_dir)
+                .expect("credit for a direction port implies a neighbor");
+            self.channels[upstream * 4 + in_dir.opposite().index()].push_credit(now + 1, vc);
+            self.active.insert(upstream);
+        }
+    }
+
+    /// `true` when the node can do nothing this cycle or any future cycle
+    /// without a new wake event: its router buffers are empty, no NI
+    /// stream is in flight, no flit is inbound on any incoming channel,
+    /// and no credit is returning on any outgoing channel.
+    fn node_idle(&self, node: NodeId) -> bool {
+        if !self.routers[node].is_idle() {
+            return false;
+        }
+        if self.ni[node].iter().any(Option::is_some) {
+            return false;
+        }
+        for dir in Direction::ALL {
+            let Some(neighbor) = self.cfg.mesh.neighbor(node, dir) else { continue };
+            if self.channels[neighbor * 4 + dir.opposite().index()].flits_in_flight() > 0 {
+                return false;
+            }
+            if self.channels[node * 4 + dir.index()].credits_in_flight() > 0 {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+impl Tick for Network {
+    fn tick(&mut self) {
+        let now = self.cycle;
+        if self.full_sweep {
+            for node in 0..self.cfg.mesh.len() {
+                self.deliver_node(node, now);
+            }
+            self.return_eject_credits(now);
+            for node in 0..self.cfg.mesh.len() {
+                self.stream_ni_node(node, now);
+            }
+            for node in 0..self.cfg.mesh.len() {
+                self.step_router_node(node, now);
+            }
+        } else {
+            // Ascending active-node order: identical visit order to the
+            // full sweep, minus nodes whose visit would be a no-op.
+            let mut i = 0;
+            while let Some(node) = self.active.next_from(i) {
+                self.deliver_node(node, now);
+                i = node + 1;
+            }
+            self.return_eject_credits(now);
+            let mut i = 0;
+            while let Some(node) = self.active.next_from(i) {
+                self.stream_ni_node(node, now);
+                i = node + 1;
+            }
+            let mut i = 0;
+            while let Some(node) = self.active.next_from(i) {
+                self.step_router_node(node, now);
+                i = node + 1;
+            }
+            let mut i = 0;
+            while let Some(node) = self.active.next_from(i) {
+                if self.node_idle(node) {
+                    self.active.remove(node);
+                }
+                i = node + 1;
+            }
+        }
+        self.stats.cycles += 1;
+        self.cycle += 1;
     }
 }
 
@@ -255,25 +366,17 @@ impl Interconnect for Network {
         hdr.id = self.next_pkt_id;
         self.next_pkt_id += 1;
         hdr.flits = Packet { header: *hdr }.flits_at_width(self.cfg.channel_bytes);
-        if hdr.created == 0 {
+        if hdr.created == PacketHeader::CREATED_UNSET {
             hdr.created = self.cycle;
         }
         self.stats.injected_flits_by_node[node] += hdr.flits as u64;
         self.ni[node][port] = Some(NiPacket { hdr: *hdr, next_seq: 0, vc: None });
+        self.active.insert(node);
         Ok(())
     }
 
     fn pop(&mut self, node: NodeId) -> Option<EjectedPacket> {
         self.ejected[node].pop_front()
-    }
-
-    fn step(&mut self) {
-        let now = self.cycle;
-        self.deliver_channels(now);
-        self.stream_ni(now);
-        self.step_routers(now);
-        self.stats.cycles += 1;
-        self.cycle += 1;
     }
 
     fn cycle(&self) -> u64 {
@@ -368,6 +471,14 @@ impl DoubleNetwork {
     }
 }
 
+impl Tick for DoubleNetwork {
+    fn tick(&mut self) {
+        for net in [&mut self.request, &mut self.reply] {
+            net.tick();
+        }
+    }
+}
+
 impl Interconnect for DoubleNetwork {
     fn try_inject(&mut self, node: NodeId, packet: Packet) -> Result<(), Packet> {
         self.net_mut(packet.header.class).try_inject(node, packet)
@@ -375,11 +486,6 @@ impl Interconnect for DoubleNetwork {
 
     fn pop(&mut self, node: NodeId) -> Option<EjectedPacket> {
         self.request.pop(node).or_else(|| self.reply.pop(node))
-    }
-
-    fn step(&mut self) {
-        self.request.step();
-        self.reply.step();
     }
 
     fn cycle(&self) -> u64 {

@@ -135,7 +135,7 @@ pub fn run_open_loop(cfg: &OpenLoopConfig) -> OpenLoopResult {
                 if rng.gen_bool(cfg.injection_rate.min(1.0)) {
                     let dst = pick_mc(&mcs, cfg.pattern, &mut rng);
                     let mut p = Packet::request(c, dst, cfg.request_bytes, 0);
-                    p.header.created = now.max(1);
+                    p.header.created = now;
                     src_q[c].push_back(p);
                     if (meas_start..meas_end).contains(&now) {
                         generated_measured += 1;
@@ -159,7 +159,7 @@ pub fn run_open_loop(cfg: &OpenLoopConfig) -> OpenLoopResult {
         for &mc in &mcs {
             while let Some(req) = net.pop(mc) {
                 let mut rep = Packet::reply(mc, req.header.src, cfg.reply_bytes, req.header.tag);
-                rep.header.created = (now + 1).max(1);
+                rep.header.created = now + 1;
                 reply_q[mc].push_back(rep);
                 if req.header.tag == 1 {
                     let l = req.total_latency();

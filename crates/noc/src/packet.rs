@@ -80,10 +80,22 @@ pub struct PacketHeader {
     pub tag: u64,
     /// Cycle at which the packet was handed to the interconnect
     /// (`try_inject` success), in interconnect cycles.
+    /// [`PacketHeader::CREATED_UNSET`] until then; workloads that queue
+    /// packets before injection may pre-stamp it to measure source-queue
+    /// time.
     pub created: u64,
     /// Cycle at which the head flit entered the source router's injection
     /// buffer. Zero until then.
     pub injected: u64,
+}
+
+impl PacketHeader {
+    /// Sentinel for a `created` stamp not yet assigned.
+    ///
+    /// A sentinel distinct from every real cycle: `0` is a legitimate
+    /// creation cycle, and using it as "unset" made a packet created at
+    /// cycle 0 get re-stamped when a blocked injection was retried.
+    pub const CREATED_UNSET: u64 = u64::MAX;
 }
 
 /// A packet: the unit of end-to-end transfer. Payload is abstract — only
@@ -108,7 +120,7 @@ impl Packet {
                 phase: Phase::Xy,
                 via: None,
                 tag,
-                created: 0,
+                created: PacketHeader::CREATED_UNSET,
                 injected: 0,
             },
         }

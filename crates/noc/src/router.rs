@@ -60,6 +60,24 @@ impl RouterOutputs {
     }
 }
 
+/// Reusable per-`step` scratch space.
+///
+/// The allocation stages need short-lived request/grant lists every cycle;
+/// keeping them here (and moving them out with [`std::mem::take`] while a
+/// stage runs) makes the steady-state router step allocation-free once the
+/// lists have grown to their high-water capacity.
+#[derive(Clone, Debug, Default)]
+struct Scratch {
+    /// VA requests: `(out_port, out_vc, in_port, in_vc)`.
+    va_requests: Vec<(usize, u8, usize, u8)>,
+    /// Contenders for one output VC during VA output arbitration.
+    va_contenders: Vec<(usize, u8)>,
+    /// Input-first SA nominees, one slot per input port.
+    sa_nominee: Vec<Option<(u8, usize, u8)>>,
+    /// Output-first SA grants offered to each input port.
+    sa_grants: Vec<Vec<(u8, usize, u8)>>,
+}
+
 /// One mesh router.
 #[derive(Clone, Debug)]
 pub struct Router {
@@ -87,6 +105,8 @@ pub struct Router {
     sa_out_arb: Vec<RoundRobin>,
     /// Whether a neighbor exists per direction.
     dir_exists: [bool; 4],
+    /// Reusable per-cycle temporaries for the allocation stages.
+    scratch: Scratch,
 }
 
 impl Router {
@@ -155,6 +175,12 @@ impl Router {
             sa_in_arb: (0..n_in).map(|_| RoundRobin::new(num_vcs)).collect(),
             sa_out_arb: (0..n_out).map(|_| RoundRobin::new(n_in)).collect(),
             dir_exists,
+            scratch: Scratch {
+                va_requests: Vec::with_capacity(n_in * num_vcs),
+                va_contenders: Vec::with_capacity(n_in * num_vcs),
+                sa_nominee: vec![None; n_in],
+                sa_grants: (0..n_in).map(|_| Vec::with_capacity(n_out)).collect(),
+            },
         }
     }
 
@@ -191,6 +217,18 @@ impl Router {
     /// Total flits buffered in all input units (used by drain detection).
     pub fn occupancy(&self) -> usize {
         self.inputs.iter().map(InputUnit::occupancy).sum()
+    }
+
+    /// `true` when a `step` would be a no-op: no input VC holds a flit.
+    ///
+    /// With empty FIFOs every pipeline stage bails out before touching an
+    /// arbiter pointer or a VC state, so an idle router's step has no
+    /// observable effect and the network may skip it outright. A VC may
+    /// still be mid-packet (`Active` with its body flits in flight
+    /// upstream), but such a VC does nothing until the next flit arrives —
+    /// and that arrival re-wakes the router.
+    pub fn is_idle(&self) -> bool {
+        self.occupancy() == 0
     }
 
     /// Delivers a flit to input `in_port`, VC `vc`, arriving at `now`.
@@ -285,7 +323,9 @@ impl Router {
     fn vc_allocate(&mut self, now: u64) {
         // Gather one (out_port, out_vc) request per eligible waiting VC.
         // requests[i] = (out_port, out_vc, in_port, vc)
-        let mut requests: Vec<(usize, u8, usize, u8)> = Vec::new();
+        let mut requests = std::mem::take(&mut self.scratch.va_requests);
+        let mut contenders = std::mem::take(&mut self.scratch.va_contenders);
+        requests.clear();
         for in_port in 0..self.inputs.len() {
             for vc in 0..self.num_vcs {
                 let ivc = self.inputs[in_port].vc(vc as u8);
@@ -305,11 +345,13 @@ impl Router {
         while i < requests.len() {
             let (op, ovc, _, _) = requests[i];
             // Collect the contenders for this output VC.
-            let contenders: Vec<(usize, u8)> = requests
-                .iter()
-                .filter(|&&(o, v, _, _)| o == op && v == ovc)
-                .map(|&(_, _, ip, iv)| (ip, iv))
-                .collect();
+            contenders.clear();
+            contenders.extend(
+                requests
+                    .iter()
+                    .filter(|&&(o, v, _, _)| o == op && v == ovc)
+                    .map(|&(_, _, ip, iv)| (ip, iv)),
+            );
             let arb = &mut self.va_arb[op][ovc as usize];
             let winner_flat = arb
                 .pick(|flat| {
@@ -329,6 +371,8 @@ impl Router {
             // Restart scanning (simplest; request lists are tiny).
             i = 0;
         }
+        self.scratch.va_requests = requests;
+        self.scratch.va_contenders = contenders;
     }
 
     /// Picks one candidate downstream VC for a waiting input VC, rotating
@@ -382,7 +426,10 @@ impl Router {
         let n_in = self.inputs.len();
         let n_out = self.credits.len();
         // Phase 1: each output grants one requesting (input, vc).
-        let mut grant_to_input: Vec<Vec<(u8, usize, u8)>> = vec![Vec::new(); n_in];
+        let mut grant_to_input = std::mem::take(&mut self.scratch.sa_grants);
+        for g in &mut grant_to_input {
+            g.clear();
+        }
         for op in 0..n_out {
             let winner = self.sa_out_arb[op].peek(|ip| {
                 (0..self.num_vcs).any(|vc| {
@@ -424,14 +471,15 @@ impl Router {
             self.sa_out_arb[op].advance_past(ip);
             self.commit_grant(ip, vc, op, out_vc, out);
         }
+        self.scratch.sa_grants = grant_to_input;
     }
 
     /// Separable input-first (iSLIP) allocation.
     fn switch_allocate_input_first(&mut self, now: u64, out: &mut RouterOutputs) {
-        let n_in = self.inputs.len();
         let n_out = self.credits.len();
-        // Phase 1: each input port nominates one VC.
-        let mut nominee: Vec<Option<(u8, usize, u8)>> = vec![None; n_in]; // (in_vc, out_port, out_vc)
+        // Phase 1: each input port nominates one VC (in_vc, out_port, out_vc).
+        let mut nominee = std::mem::take(&mut self.scratch.sa_nominee);
+        nominee.iter_mut().for_each(|slot| *slot = None);
         for (in_port, slot) in nominee.iter_mut().enumerate() {
             let pick = self.sa_in_arb[in_port].peek(|vc| self.sa_ready(in_port, vc as u8, now));
             if let Some(vc) = pick {
@@ -453,6 +501,7 @@ impl Router {
             self.sa_in_arb[ip].advance_past(vc as usize);
             self.commit_grant(ip, vc, op, out_vc, out);
         }
+        self.scratch.sa_nominee = nominee;
     }
 
     /// `true` if input VC `(in_port, vc)` may compete for the switch at

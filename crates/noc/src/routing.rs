@@ -102,6 +102,13 @@ impl std::error::Error for UnroutableError {}
 /// Plans the routing phase (and, for checkerboard case 2, the intermediate
 /// node) for a packet about to be injected.
 ///
+/// Runs on every injection, so it must not heap-allocate: instead of
+/// materializing the [`plan_options`] list it computes the list's length
+/// arithmetically, draws the same single `gen_range(0..len)` index the
+/// list-based draw would (so simulation outcomes are bit-identical), and
+/// reconstructs the indexed entry directly. Deterministic routes (DOR,
+/// straight lines, checkerboard cases 0/1) consume no randomness.
+///
 /// # Errors
 ///
 /// Returns [`UnroutableError`] for full-to-full checkerboard pairs with
@@ -113,13 +120,93 @@ pub fn plan_injection<R: Rng + ?Sized>(
     dst: NodeId,
     rng: &mut R,
 ) -> Result<(Phase, Option<NodeId>), UnroutableError> {
-    let options = plan_options(kind, mesh, src, dst)?;
-    if options.len() == 1 {
-        // Deterministic routes (DOR, straight lines, checkerboard cases
-        // 0/1) must not consume randomness.
-        return Ok(options[0]);
+    match kind {
+        RoutingKind::DorXy => Ok((Phase::Xy, None)),
+        RoutingKind::DorYx => Ok((Phase::Yx, None)),
+        RoutingKind::O1Turn => Ok([(Phase::Xy, None), (Phase::Yx, None)][rng.gen_range(0..2usize)]),
+        RoutingKind::Romm => Ok(romm_pick(mesh, src, dst, rng)),
+        RoutingKind::Checkerboard => checkerboard_pick(mesh, src, dst, rng),
     }
-    Ok(options[rng.gen_range(0..options.len())])
+}
+
+/// Allocation-free equivalent of drawing uniformly from
+/// [`romm_options`]: the option list is the x-major grid of the minimal
+/// quadrant, so the drawn index maps back to a coordinate directly.
+fn romm_pick<R: Rng + ?Sized>(
+    mesh: &Mesh,
+    src: NodeId,
+    dst: NodeId,
+    rng: &mut R,
+) -> (Phase, Option<NodeId>) {
+    let s = mesh.coord(src);
+    let d = mesh.coord(dst);
+    if s.same_row(d) || s.same_col(d) {
+        return (Phase::Xy, None);
+    }
+    let (x_lo, x_hi) = (s.x.min(d.x), s.x.max(d.x));
+    let (y_lo, y_hi) = (s.y.min(d.y), s.y.max(d.y));
+    let ny = usize::from(y_hi - y_lo) + 1;
+    let len = (usize::from(x_hi - x_lo) + 1) * ny;
+    let idx = rng.gen_range(0..len);
+    let x = x_lo + (idx / ny) as u16;
+    let y = y_lo + (idx % ny) as u16;
+    let via = mesh.node(Coord::new(x, y));
+    if via == src {
+        (Phase::Xy, None)
+    } else if via == dst {
+        (Phase::Yx, None)
+    } else {
+        (Phase::Yx, Some(via))
+    }
+}
+
+/// Allocation-free equivalent of drawing uniformly from
+/// [`checkerboard_options`].
+fn checkerboard_pick<R: Rng + ?Sized>(
+    mesh: &Mesh,
+    src: NodeId,
+    dst: NodeId,
+    rng: &mut R,
+) -> Result<(Phase, Option<NodeId>), UnroutableError> {
+    let s = mesh.coord(src);
+    let d = mesh.coord(dst);
+    if s.same_row(d) || s.same_col(d) {
+        return Ok((Phase::Xy, None));
+    }
+    if !mesh.is_half(mesh.node(Coord::new(d.x, s.y))) {
+        return Ok((Phase::Xy, None));
+    }
+    if !mesh.is_half(mesh.node(Coord::new(s.x, d.y))) {
+        return Ok((Phase::Yx, None));
+    }
+    if !mesh.is_half(src) && !mesh.is_half(dst) {
+        return Err(UnroutableError { src, dst });
+    }
+    let (xs, ys) = case2_ranges(s, d);
+    let (nx, ny) = (xs.clone().count(), ys.clone().count());
+    assert!(nx > 0 && ny > 0, "case-2 intermediate must exist for half-to-half pairs ({s} -> {d})");
+    let idx = if nx * ny > 1 { rng.gen_range(0..nx * ny) } else { 0 };
+    let x = xs.clone().nth(idx / ny).expect("index is within the candidate grid");
+    let y = ys.clone().nth(idx % ny).expect("index is within the candidate grid");
+    let via = mesh.node(Coord::new(x, y));
+    debug_assert!(!mesh.is_half(via), "intermediate must be a full-router");
+    Ok((Phase::Yx, Some(via)))
+}
+
+/// Case-2 intermediate candidate coordinates, as lazy iterators shared by
+/// [`checkerboard_pick`] and [`case2_options`]: full-routers inside the
+/// minimal quadrant, not in the source row, an even number of columns from
+/// the source (which together guarantee that both the YX turn toward the
+/// intermediate and the XY turn after it land on full-routers).
+fn case2_ranges(
+    s: Coord,
+    d: Coord,
+) -> (impl Iterator<Item = u16> + Clone, impl Iterator<Item = u16> + Clone) {
+    let (x_lo, x_hi) = (s.x.min(d.x), s.x.max(d.x));
+    let (y_lo, y_hi) = (s.y.min(d.y), s.y.max(d.y));
+    let xs = (x_lo..=x_hi).filter(move |x| (x % 2) == (s.x % 2));
+    let ys = (y_lo..=y_hi).filter(move |&y| y != s.y && (s.x + y).is_multiple_of(2));
+    (xs, ys)
 }
 
 /// Enumerates every `(phase, via)` plan [`plan_injection`] can produce for
@@ -207,22 +294,17 @@ fn checkerboard_options(
     Ok(case2_options(mesh, s, d))
 }
 
-/// Case-2 intermediates: full-routers inside the minimal quadrant, not in
-/// the source row, an even number of columns from the source (which
-/// together guarantee that both the YX turn toward the intermediate and
-/// the XY turn after it land on full-routers).
+/// Case-2 intermediates, enumerated x-major over [`case2_ranges`] (the
+/// same order [`checkerboard_pick`] indexes into).
 fn case2_options(mesh: &Mesh, s: Coord, d: Coord) -> Vec<(Phase, Option<NodeId>)> {
-    let (x_lo, x_hi) = (s.x.min(d.x), s.x.max(d.x));
-    let (y_lo, y_hi) = (s.y.min(d.y), s.y.max(d.y));
-    let xs: Vec<u16> = (x_lo..=x_hi).filter(|x| (x % 2) == (s.x % 2)).collect();
-    let ys: Vec<u16> = (y_lo..=y_hi).filter(|&y| y != s.y && (s.x + y).is_multiple_of(2)).collect();
+    let (xs, ys) = case2_ranges(s, d);
     assert!(
-        !xs.is_empty() && !ys.is_empty(),
+        xs.clone().next().is_some() && ys.clone().next().is_some(),
         "case-2 intermediate must exist for half-to-half pairs ({s} -> {d})"
     );
-    let mut options = Vec::with_capacity(xs.len() * ys.len());
-    for &x in &xs {
-        for &y in &ys {
+    let mut options = Vec::new();
+    for x in xs {
+        for y in ys.clone() {
             let via = mesh.node(Coord::new(x, y));
             debug_assert!(!mesh.is_half(via), "intermediate must be a full-router");
             options.push((Phase::Yx, Some(via)));
@@ -612,6 +694,52 @@ mod tests {
             assert_eq!(p.len() as u32 - 1, mesh.coord(src).manhattan(mesh.coord(dst)));
         }
         assert!(vias.len() > 3, "ROMM must spread over many intermediates: {}", vias.len());
+    }
+
+    /// The allocation-free `plan_injection` must draw exactly the entry
+    /// that indexing the materialized `plan_options` list with the same
+    /// RNG would, consuming the same amount of randomness — that is what
+    /// keeps simulation outcomes bit-identical with the old list-based
+    /// implementation.
+    #[test]
+    fn plan_injection_matches_indexed_plan_options() {
+        use rand::RngCore;
+        for (kind, mesh) in [
+            (RoutingKind::DorXy, Mesh::all_full(6)),
+            (RoutingKind::DorYx, Mesh::all_full(6)),
+            (RoutingKind::O1Turn, Mesh::all_full(6)),
+            (RoutingKind::Romm, Mesh::all_full(6)),
+            (RoutingKind::Checkerboard, Mesh::checkerboard(6)),
+            (RoutingKind::Checkerboard, Mesh::checkerboard(8)),
+        ] {
+            for src in mesh.nodes() {
+                for dst in mesh.nodes() {
+                    if src == dst {
+                        continue;
+                    }
+                    for seed in 0..4u64 {
+                        let mut fast = SmallRng::seed_from_u64(seed);
+                        let mut list = SmallRng::seed_from_u64(seed);
+                        let picked = plan_injection(kind, &mesh, src, dst, &mut fast);
+                        let options = plan_options(kind, &mesh, src, dst);
+                        match (picked, options) {
+                            (Err(a), Err(b)) => assert_eq!(a, b),
+                            (Ok(p), Ok(opts)) => {
+                                let want = if opts.len() == 1 {
+                                    opts[0]
+                                } else {
+                                    opts[list.gen_range(0..opts.len())]
+                                };
+                                assert_eq!(p, want, "{kind:?} {src}->{dst} seed {seed}");
+                                // Same randomness consumed.
+                                assert_eq!(fast.next_u64(), list.next_u64());
+                            }
+                            (p, o) => panic!("routability disagrees: {p:?} vs {o:?}"),
+                        }
+                    }
+                }
+            }
+        }
     }
 
     #[test]

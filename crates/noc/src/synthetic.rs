@@ -150,7 +150,7 @@ pub fn run_synthetic(cfg: &SynthConfig) -> SynthResult {
                 if rng.gen_bool(cfg.injection_rate.min(1.0)) {
                     if let Some(dst) = cfg.pattern.dest(k, src, &mut rng) {
                         let mut p = Packet::request(src, dst, cfg.packet_bytes, 0);
-                        p.header.created = now.max(1);
+                        p.header.created = now;
                         if meas.contains(&now) {
                             p.header.tag = 1;
                             generated += 1;

@@ -1,0 +1,191 @@
+//! The active-set scheduler must be observationally identical to the
+//! unconditional full sweep it replaced: same acceptance decisions, same
+//! per-cycle ejection sequence, same statistics — it may only *skip*
+//! provably idle routers, never reorder work.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use tenoc_noc::{Interconnect, Network, NetworkConfig, Packet, PacketHeader, Tick};
+
+/// One observed ejection: (cycle, node, packet id, tag, created stamp).
+type Ejection = (u64, usize, u64, u64, u64);
+
+/// Drives `cycles` cycles of seeded random traffic (plus a drain window)
+/// and records every ejection in order, along with how many router steps
+/// the run spent.
+fn run_trace(
+    cfg: NetworkConfig,
+    seed: u64,
+    cycles: u64,
+    rate: f64,
+    full_sweep: bool,
+) -> (Vec<Ejection>, u64, u64) {
+    let n = cfg.mesh.len();
+    let mut net = Network::new(cfg);
+    net.set_full_sweep(full_sweep);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut pending: Vec<(usize, Packet)> = Vec::new();
+    let mut trace = Vec::new();
+    let mut tag = 0u64;
+    loop {
+        let now = net.cycle();
+        if now < cycles {
+            for _ in 0..2 {
+                if rng.gen_bool(rate) {
+                    let src = rng.gen_range(0..n);
+                    let dst = (src + rng.gen_range(1..n)) % n;
+                    let p = if rng.gen_bool(0.5) {
+                        Packet::request(src, dst, 8, tag)
+                    } else {
+                        Packet::reply(src, dst, 64, tag)
+                    };
+                    tag += 1;
+                    pending.push((src, p));
+                }
+            }
+        }
+        pending.retain(|&(src, p)| net.try_inject(src, p).is_err());
+        net.tick();
+        for node in 0..n {
+            while let Some(e) = net.pop(node) {
+                trace.push((net.cycle(), node, e.header.id, e.header.tag, e.header.created));
+            }
+        }
+        if net.cycle() >= cycles && pending.is_empty() && net.in_flight() == 0 {
+            break;
+        }
+        assert!(net.cycle() < cycles + 10_000, "network failed to drain");
+    }
+    (trace, net.stats().cycles, net.routers_stepped())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    // Random uniform traffic on a DOR mesh ejects the exact same packets
+    // at the exact same cycles whether idle routers are skipped or not,
+    // and the scheduler never steps more routers than the full sweep.
+    #[test]
+    fn active_set_matches_full_sweep(
+        k in prop::sample::select(vec![4usize, 6]),
+        seed in any::<u64>(),
+        rate in 0.05f64..0.6,
+    ) {
+        let sched = run_trace(NetworkConfig::baseline_mesh(k), seed, 120, rate, false);
+        let sweep = run_trace(NetworkConfig::baseline_mesh(k), seed, 120, rate, true);
+        prop_assert_eq!(&sched.0, &sweep.0);
+        prop_assert!(!sched.0.is_empty(), "trace should carry traffic");
+        prop_assert_eq!(sched.1, sweep.1);
+        prop_assert!(sched.2 <= sweep.2);
+    }
+}
+
+// The paper's MC-bound traffic on the checkerboard network (half routers,
+// class-split VCs) is also trace-identical across scheduling modes.
+#[test]
+fn checkerboard_mc_traffic_matches_full_sweep() {
+    let run = |full_sweep: bool| {
+        let cfg = NetworkConfig::checkerboard_mesh(6);
+        let mcs = cfg.mc_nodes.clone();
+        let n = cfg.mesh.len();
+        let mut net = Network::new(cfg);
+        net.set_full_sweep(full_sweep);
+        let mut trace = Vec::new();
+        let mut pending: Vec<(usize, Packet)> = Vec::new();
+        for tag in 0..40u64 {
+            let core = ((tag as usize) * 7 + 1) % n;
+            if !mcs.contains(&core) {
+                let mc = mcs[(tag as usize) % mcs.len()];
+                pending.push((core, Packet::request(core, mc, 8, tag)));
+                pending.push((mc, Packet::reply(mc, core, 64, tag)));
+            }
+        }
+        loop {
+            pending.retain(|&(src, p)| net.try_inject(src, p).is_err());
+            net.tick();
+            for node in 0..n {
+                while let Some(e) = net.pop(node) {
+                    trace.push((net.cycle(), node, e.header.id, e.header.tag));
+                }
+            }
+            if pending.is_empty() && net.in_flight() == 0 {
+                return (trace, net.routers_stepped());
+            }
+            assert!(net.cycle() < 10_000, "network failed to drain");
+        }
+    };
+    let (sched, sched_steps) = run(false);
+    let (sweep, sweep_steps) = run(true);
+    assert_eq!(sched, sweep);
+    assert!(!sched.is_empty());
+    assert!(sched_steps <= sweep_steps);
+}
+
+// A drained network's tick touches zero routers: the first tick retires
+// the initially-active set, and every tick after that steps nothing.
+#[test]
+fn drained_network_ticks_zero_routers() {
+    let mut net = Network::new(NetworkConfig::baseline_mesh(6));
+    net.tick();
+    assert_eq!(net.active_routers(), 0);
+    let stepped = net.routers_stepped();
+    for _ in 0..100 {
+        net.tick();
+    }
+    assert_eq!(net.routers_stepped(), stepped);
+    assert_eq!(net.cycle(), 101);
+}
+
+// After real traffic fully drains, every router retires again.
+#[test]
+fn active_set_empties_once_traffic_drains() {
+    let mut net = Network::new(NetworkConfig::baseline_mesh(4));
+    net.try_inject(0, Packet::request(0, 15, 8, 1)).unwrap();
+    net.try_inject(5, Packet::reply(5, 10, 64, 2)).unwrap();
+    let mut got = 0;
+    while got < 2 {
+        net.tick();
+        got += usize::from(net.pop(15).is_some()) + usize::from(net.pop(10).is_some());
+        assert!(net.cycle() < 1_000);
+    }
+    while net.active_routers() > 0 {
+        net.tick();
+        assert!(net.cycle() < 1_100, "active set failed to drain");
+    }
+    let stepped = net.routers_stepped();
+    net.tick_n(50);
+    assert_eq!(net.routers_stepped(), stepped);
+}
+
+// Regression for the `created == 0` sentinel bug: a packet genuinely
+// created at cycle 0 that waits in a source queue must keep its stamp, so
+// total latency includes the queueing delay. Only `CREATED_UNSET` packets
+// are stamped at injection time.
+#[test]
+fn packet_created_at_cycle_zero_is_not_restamped() {
+    let mut net = Network::new(NetworkConfig::baseline_mesh(4));
+    net.tick_n(5);
+
+    let mut queued = Packet::request(0, 5, 8, 7);
+    assert_eq!(queued.header.created, PacketHeader::CREATED_UNSET);
+    queued.header.created = 0;
+    net.try_inject(0, queued).unwrap();
+
+    let fresh_at = net.cycle();
+    let fresh = Packet::request(1, 5, 8, 8);
+    net.try_inject(1, fresh).unwrap();
+
+    let mut seen = Vec::new();
+    while seen.len() < 2 {
+        net.tick();
+        while let Some(e) = net.pop(5) {
+            seen.push(e);
+        }
+        assert!(net.cycle() < 1_000);
+    }
+    let queued_out = seen.iter().find(|e| e.header.tag == 7).unwrap();
+    let fresh_out = seen.iter().find(|e| e.header.tag == 8).unwrap();
+    assert_eq!(queued_out.header.created, 0);
+    assert!(queued_out.total_latency() >= 5 + queued_out.network_latency());
+    assert_eq!(fresh_out.header.created, fresh_at);
+}

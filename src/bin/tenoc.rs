@@ -7,6 +7,7 @@
 //!             [--scale 0.12] [--seed N] [--jobs N] [--out FILE]
 //!             [--tiny] [--golden FILE --check|--bless]
 //! tenoc openloop --preset cp-cr-2p [--hotspot] [--rates 0.01..0.12]
+//! tenoc engine-bench [--scale F] [--out FILE]
 //! tenoc area
 //! tenoc classify [--scale 0.12]
 //! tenoc list
@@ -65,6 +66,7 @@ fn usage() -> ExitCode {
                      [--seed N] [--jobs N] [--out FILE]\n\
                      [--tiny] [--golden FILE --check|--bless]\n\
            openloop  --preset <NAME> [--hotspot] [--rate F]\n\
+           engine-bench [--scale F] [--out FILE] (simulator speed probe)\n\
            area      (Table VI summary)\n\
            classify  [--scale F] (measured LL/LH/HH classes)\n\
            list      (benchmarks and presets)\n\
@@ -124,6 +126,7 @@ fn main() -> ExitCode {
             }
         }
         "sweep" => return cmd_sweep(&flags, scale),
+        "engine-bench" => return cmd_engine_bench(&flags),
         "openloop" => {
             let Some(preset) = flags.get("preset").and_then(|p| preset_by_flag(p)) else {
                 eprintln!("openloop: missing or unknown --preset");
@@ -214,6 +217,57 @@ fn serde_json_line(name: &str, preset: Preset, m: &tenoc::core::RunMetrics) -> S
         preset.label(),
         serde_json::to_string(m).expect("metrics are plain data")
     )
+}
+
+/// `tenoc engine-bench`: measure how fast the simulator itself runs —
+/// simulated interconnect cycles per wall-clock second — on the paper's
+/// combined throughput-effective design point (fig. 20) driving the RD
+/// benchmark, and emit the result as `BENCH_engine.json`.
+fn cmd_engine_bench(flags: &HashMap<String, String>) -> ExitCode {
+    // Pre-refactor engine speed on the identical probe (thr-eff / RD at
+    // scale 1.0, one job): 187646 simulated icnt cycles in 23.26 s of
+    // wall time, measured at the commit immediately before the
+    // active-set cycle kernel landed. The `speedup` field compares the
+    // current build against this figure.
+    const BASELINE_CYCLES_PER_SEC: f64 = 8067.0;
+
+    let scale = flags.get("scale").and_then(|s| s.parse::<f64>().ok()).unwrap_or(1.0);
+    let Some(spec) = by_name("RD") else {
+        eprintln!("engine-bench: RD benchmark missing");
+        return ExitCode::FAILURE;
+    };
+    let preset = Preset::ThroughputEffective;
+    eprintln!("engine-bench: {} on {} at scale {scale}", spec.name, preset.label());
+    let start = std::time::Instant::now();
+    let m = run_benchmark(preset, &spec, scale);
+    let wall_nanos = start.elapsed().as_nanos() as u64;
+    let perf = tenoc::harness::RunPerf::measure(m.icnt_cycles, wall_nanos);
+    let speedup = perf.sim_cycles_per_sec / BASELINE_CYCLES_PER_SEC;
+    let json = format!(
+        "{{\"probe\":{{\"preset\":\"{}\",\"benchmark\":\"{}\",\"scale\":{}}},\
+         \"sim_cycles\":{},\"wall_nanos\":{},\"sim_cycles_per_sec\":{:.1},\
+         \"baseline_sim_cycles_per_sec\":{:.1},\"speedup\":{:.2}}}\n",
+        preset.label(),
+        spec.name,
+        scale,
+        m.icnt_cycles,
+        wall_nanos,
+        perf.sim_cycles_per_sec,
+        BASELINE_CYCLES_PER_SEC,
+        speedup
+    );
+    let path = flags.get("out").map(String::as_str).unwrap_or("BENCH_engine.json");
+    if let Err(e) = std::fs::write(path, &json) {
+        eprintln!("engine-bench: cannot write {path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "engine-bench: {} cycles in {:.2} s -> {:.0} sim cycles/s ({speedup:.2}x baseline), wrote {path}",
+        m.icnt_cycles,
+        wall_nanos as f64 / 1e9,
+        perf.sim_cycles_per_sec
+    );
+    ExitCode::SUCCESS
 }
 
 /// `tenoc sweep`: fan a (preset x benchmark) grid over the worker pool and
