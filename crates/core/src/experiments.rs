@@ -4,6 +4,7 @@
 use crate::metrics::RunMetrics;
 use crate::presets::Preset;
 use crate::system::{IcntConfig, System, SystemConfig};
+use tenoc_noc::{TelemetryConfig, TelemetryReport};
 use tenoc_simt::{KernelSpec, TrafficClass};
 
 /// One benchmark's result within a suite sweep.
@@ -51,6 +52,44 @@ pub fn run_with_system_config(cfg: SystemConfig, spec: &KernelSpec, scale: f64) 
     let m = sys.run();
     assert!(m.completed, "{} did not complete (possible deadlock)", scaled.name);
     m
+}
+
+/// Like [`run_with_system_config`], with the interconnect's telemetry
+/// armed for the whole run. Returns the metrics (identical to an
+/// untraced run — telemetry observes without perturbing) plus one
+/// [`TelemetryReport`] per physical network (empty for ideal networks).
+///
+/// # Panics
+///
+/// Panics if the run does not complete (deadlock or cycle-limit).
+pub fn run_traced_with_system_config(
+    cfg: SystemConfig,
+    spec: &KernelSpec,
+    scale: f64,
+    tcfg: TelemetryConfig,
+) -> (RunMetrics, Vec<TelemetryReport>) {
+    let scaled = spec.scaled(scale);
+    let mut sys = System::new(cfg, &scaled);
+    sys.enable_telemetry(tcfg);
+    let m = sys.run();
+    assert!(m.completed, "{} did not complete (possible deadlock)", scaled.name);
+    let reports = sys.telemetry_reports();
+    (m, reports)
+}
+
+/// Runs one benchmark on a preset with telemetry armed (the engine
+/// behind `tenoc trace`).
+///
+/// # Panics
+///
+/// Panics if the run does not complete (deadlock or cycle-limit).
+pub fn run_traced(
+    preset: Preset,
+    spec: &KernelSpec,
+    scale: f64,
+    tcfg: TelemetryConfig,
+) -> (RunMetrics, Vec<TelemetryReport>) {
+    run_traced_with_system_config(SystemConfig::with_icnt(preset.icnt(6)), spec, scale, tcfg)
 }
 
 /// Runs a whole benchmark list on one design point.
@@ -117,9 +156,26 @@ pub fn hm_ipc_class(results: &[SuiteResult], class: TrafficClass) -> f64 {
 
 /// Harmonic mean of per-benchmark speedup ratios (as the paper reports
 /// "harmonic mean speedup").
+///
+/// A benchmark whose baseline retired nothing has no defined speedup
+/// ([`RunMetrics::speedup_over`] returns `None`); it is **skipped with a
+/// warning** on stderr rather than contributing a silent `0.0` that would
+/// collapse the whole suite's harmonic mean to zero.
 pub fn hm_speedup(base: &[SuiteResult], new: &[SuiteResult]) -> f64 {
-    let ratios: Vec<f64> =
-        base.iter().zip(new).map(|(b, n)| n.metrics.ipc / b.metrics.ipc).collect();
+    let ratios: Vec<f64> = base
+        .iter()
+        .zip(new)
+        .filter_map(|(b, n)| match n.metrics.speedup_over(&b.metrics) {
+            Some(r) => Some(r),
+            None => {
+                eprintln!(
+                    "warning: skipping {} in hm_speedup: baseline IPC is {} (no defined speedup)",
+                    b.name, b.metrics.ipc
+                );
+                None
+            }
+        })
+        .collect();
     crate::metrics::harmonic_mean(ratios)
 }
 
@@ -170,5 +226,71 @@ mod tests {
         let s = speedups_percent(&a, &b);
         assert_eq!(s.len(), 1);
         assert_eq!(s[0].0, "HIS");
+    }
+
+    /// Satellite regression: a zero-IPC baseline benchmark is skipped
+    /// (with a warning) rather than zeroing the suite harmonic mean.
+    #[test]
+    fn hm_speedup_skips_degenerate_baselines() {
+        let with_ipc = |name: &str, ipc: f64| SuiteResult {
+            name: name.into(),
+            class: TrafficClass::LL,
+            metrics: RunMetrics {
+                completed: true,
+                core_cycles: 100,
+                icnt_cycles: 50,
+                scalar_insts: (ipc * 100.0) as u64,
+                ipc,
+                avg_net_latency: 0.0,
+                mc_injection_rate: 0.0,
+                core_injection_rate: 0.0,
+                mc_stall_fraction: 0.0,
+                dram_efficiency: 0.0,
+                l2_read_hit_rate: 0.0,
+                accepted_flits_per_node: 0.0,
+                core_replays: 0,
+                flit_hops: 0,
+            },
+        };
+        let base = [with_ipc("OK", 2.0), with_ipc("DEAD", 0.0)];
+        let new = [with_ipc("OK", 4.0), with_ipc("DEAD", 1.0)];
+        let hm = hm_speedup(&base, &new);
+        assert!((hm - 2.0).abs() < 1e-12, "DEAD must be skipped, not zero the mean: {hm}");
+        assert_eq!(hm_speedup(&base[1..], &new[1..]), 0.0, "nothing left after skipping");
+    }
+
+    /// Acceptance: tracing the thr-eff preset emits latency histograms
+    /// for both classes, a per-link utilization heatmap matching the mesh
+    /// dimensions, and a non-empty flight-recorder sample — and the
+    /// metrics are identical to an untraced run.
+    #[test]
+    fn traced_thr_eff_run_emits_full_telemetry() {
+        let spec = by_name("RD").unwrap();
+        let untraced = run_benchmark(Preset::ThroughputEffective, &spec, SCALE);
+        let (m, reports) = run_traced(
+            Preset::ThroughputEffective,
+            &spec,
+            SCALE,
+            tenoc_noc::TelemetryConfig::default(),
+        );
+        assert_eq!(m, untraced, "telemetry must not perturb the simulation");
+        // Double network: one report per slice, each a 6x6 mesh.
+        assert_eq!(reports.len(), 2);
+        assert_eq!(reports[0].label, "request");
+        assert_eq!(reports[1].label, "reply");
+        for r in &reports {
+            assert_eq!(r.radix, 6);
+            assert_eq!(r.heatmap.len(), 6);
+            assert!(r.heatmap.iter().all(|row| row.len() == 6));
+            assert!(r.heatmap.iter().flatten().any(|&u| u > 0.0), "{}: heat", r.label);
+            assert!(!r.links.is_empty());
+            assert!(!r.flight.is_empty(), "{}: flight recorder sample", r.label);
+            assert!(r.avg_occupancy.iter().any(|&o| o > 0.0), "{}: occupancy", r.label);
+        }
+        // Both classes show up across the slices' histograms.
+        assert!(reports[0].hist.total[0].count() > 0, "request-class histogram");
+        assert!(reports[1].hist.total[1].count() > 0, "reply-class histogram");
+        assert!(reports[0].hist.network[0].count() > 0);
+        assert!(reports[1].hist.network[1].count() > 0);
     }
 }

@@ -50,3 +50,4 @@ pub use presets::Preset;
 pub use report::SweepReport;
 pub use system::{IcntConfig, System, SystemConfig};
 pub use tenoc_noc::Tick;
+pub use tenoc_noc::{ArmSpec, FlightEvent, LatencyHistogram, TelemetryConfig, TelemetryReport};

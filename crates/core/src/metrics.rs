@@ -40,12 +40,20 @@ pub struct RunMetrics {
 }
 
 impl RunMetrics {
-    /// Speedup of `self` over a baseline run (ratio of IPCs).
-    pub fn speedup_over(&self, baseline: &RunMetrics) -> f64 {
-        if baseline.ipc == 0.0 {
-            return 0.0;
+    /// Speedup of `self` over a baseline run (ratio of IPCs), or `None`
+    /// when the baseline retired nothing (`ipc <= 0`) and no meaningful
+    /// ratio exists.
+    ///
+    /// Returning `0.0` for that case — as an earlier version did —
+    /// silently collapsed any downstream [`harmonic_mean`] of speedups to
+    /// zero, turning one broken baseline run into a whole-suite zero.
+    /// Callers must now decide explicitly (report code skips the
+    /// benchmark with a warning).
+    pub fn speedup_over(&self, baseline: &RunMetrics) -> Option<f64> {
+        if baseline.ipc <= 0.0 {
+            return None;
         }
-        self.ipc / baseline.ipc
+        Some(self.ipc / baseline.ipc)
     }
 
     /// Accepted traffic in bytes/cycle/node given the flit width used by
@@ -138,7 +146,39 @@ mod tests {
         };
         let b = RunMetrics { ipc: 5.0, ..a };
         a.ipc = 10.0;
-        assert!((a.speedup_over(&b) - 2.0).abs() < 1e-12);
+        assert!((a.speedup_over(&b).unwrap() - 2.0).abs() < 1e-12);
         assert!((a.accepted_bytes_per_node(16) - 8.0).abs() < 1e-12);
+    }
+
+    /// Satellite regression: a zero-IPC (or pathological negative-IPC)
+    /// baseline must yield `None`, not a silent `0.0` that collapses a
+    /// harmonic mean of speedups across a suite.
+    #[test]
+    fn speedup_over_degenerate_baseline_is_none() {
+        let mut a = RunMetrics {
+            completed: true,
+            core_cycles: 100,
+            icnt_cycles: 50,
+            scalar_insts: 1000,
+            ipc: 10.0,
+            avg_net_latency: 0.0,
+            mc_injection_rate: 0.0,
+            core_injection_rate: 0.0,
+            mc_stall_fraction: 0.0,
+            dram_efficiency: 0.0,
+            l2_read_hit_rate: 0.0,
+            accepted_flits_per_node: 0.5,
+            core_replays: 0,
+            flit_hops: 0,
+        };
+        let zero = RunMetrics { ipc: 0.0, ..a };
+        assert_eq!(a.speedup_over(&zero), None);
+        a.ipc = 0.0;
+        assert_eq!(a.speedup_over(&zero), None, "0/0 is undefined, not 0");
+        // The failure mode this guards: one None-worthy baseline used to
+        // contribute 0.0 and zero the suite harmonic mean.
+        let good = [2.0, 3.0];
+        assert!(harmonic_mean(good) > 0.0);
+        assert_eq!(harmonic_mean(good.into_iter().chain([0.0])), 0.0);
     }
 }

@@ -333,6 +333,21 @@ impl System {
         }
     }
 
+    /// Arms the interconnect's observability layer (latency histograms,
+    /// link/VC counters, occupancy sampling, flight recorder). Call
+    /// before [`System::run`]; a no-op on ideal networks, which have
+    /// nothing to observe. Telemetry never changes simulated outcomes.
+    pub fn enable_telemetry(&mut self, cfg: tenoc_noc::TelemetryConfig) {
+        self.icnt.enable_telemetry(cfg);
+    }
+
+    /// Snapshots of the interconnect's telemetry: one report per physical
+    /// network (two for a double network), empty when telemetry was never
+    /// enabled or the network is ideal.
+    pub fn telemetry_reports(&self) -> Vec<tenoc_noc::TelemetryReport> {
+        self.icnt.telemetry_reports()
+    }
+
     /// Total read/write requests the cores emitted (debug aid).
     pub fn debug_core_requests(&self) -> (u64, u64) {
         let r = self.cores.iter().map(|c| c.stats().read_requests).sum();

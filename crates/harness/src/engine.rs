@@ -5,8 +5,8 @@ use crate::grid::{SweepCell, SweepGrid};
 use crate::pool::run_indexed;
 use crate::record::{RunPerf, RunRecord};
 use tenoc_core::area::{throughput_effectiveness, AreaModel};
-use tenoc_core::experiments::run_with_system_config;
-use tenoc_core::{ClockConfig, PowerModel, RunMetrics, SystemConfig};
+use tenoc_core::experiments::{run_traced_with_system_config, run_with_system_config};
+use tenoc_core::{ClockConfig, PowerModel, RunMetrics, SystemConfig, TelemetryConfig};
 use tenoc_simt::TrafficClass;
 
 /// One cell's raw result, before area/power annotation.
@@ -20,6 +20,9 @@ pub struct CellResult {
     pub metrics: RunMetrics,
     /// Wall-clock nanoseconds the simulation took.
     pub wall_nanos: u64,
+    /// Telemetry reports when the cell ran with telemetry armed (one per
+    /// physical network), empty otherwise.
+    pub telemetry: Vec<tenoc_core::TelemetryReport>,
 }
 
 /// Runs one cell to completion.
@@ -34,9 +37,13 @@ pub fn run_cell(cell: &SweepCell) -> CellResult {
     let mut cfg = SystemConfig::with_icnt(cell.preset.icnt(cell.mesh_k));
     cfg.seed = cell.seed;
     let start = std::time::Instant::now();
-    let metrics = run_with_system_config(cfg, &spec, cell.scale);
+    let (metrics, telemetry) = if cell.telemetry {
+        run_traced_with_system_config(cfg, &spec, cell.scale, TelemetryConfig::default())
+    } else {
+        (run_with_system_config(cfg, &spec, cell.scale), Vec::new())
+    };
     let wall_nanos = start.elapsed().as_nanos() as u64;
-    CellResult { cell: cell.clone(), class: spec.class, metrics, wall_nanos }
+    CellResult { cell: cell.clone(), class: spec.class, metrics, wall_nanos, telemetry }
 }
 
 /// Runs every cell of `grid` across `jobs` workers, returning raw results
@@ -82,6 +89,7 @@ pub fn annotate(result: &CellResult) -> RunRecord {
         noc_dynamic_power_w: power,
         fingerprint: String::new(),
         perf: RunPerf::measure(result.metrics.icnt_cycles, result.wall_nanos),
+        telemetry: if result.telemetry.is_empty() { None } else { Some(result.telemetry.clone()) },
     };
     record.seal();
     record

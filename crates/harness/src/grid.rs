@@ -31,6 +31,11 @@ pub struct SweepCell {
     pub seed: u64,
     /// Mesh radix `k` passed to [`Preset::icnt`].
     pub mesh_k: usize,
+    /// Arm the interconnect's telemetry for this cell's run. Telemetry
+    /// never changes simulated outcomes, so records (and their
+    /// fingerprints) are identical either way; the reports ride on the
+    /// record's non-serialized side channel.
+    pub telemetry: bool,
 }
 
 /// A sweep: `presets x benchmarks` at one scale, with a seed policy.
@@ -46,19 +51,35 @@ pub struct SweepGrid {
     pub seed_mode: SeedMode,
     /// Mesh radix `k` passed to [`Preset::icnt`] (paper: 6).
     pub mesh_k: usize,
+    /// Arm telemetry on every cell (see [`SweepCell::telemetry`]).
+    pub telemetry: bool,
 }
 
 impl SweepGrid {
     /// A grid over `presets x benchmarks` with the system default seed
     /// derived per cell and the paper's 6x6 mesh.
     pub fn new(presets: Vec<Preset>, benchmarks: Vec<String>, scale: f64) -> Self {
-        SweepGrid { presets, benchmarks, scale, seed_mode: SeedMode::Derived(0x7e0c), mesh_k: 6 }
+        SweepGrid {
+            presets,
+            benchmarks,
+            scale,
+            seed_mode: SeedMode::Derived(0x7e0c),
+            mesh_k: 6,
+            telemetry: false,
+        }
     }
 
     /// Replaces the seed policy.
     #[must_use]
     pub fn with_seed_mode(mut self, mode: SeedMode) -> Self {
         self.seed_mode = mode;
+        self
+    }
+
+    /// Arms (or disarms) telemetry on every cell.
+    #[must_use]
+    pub fn with_telemetry(mut self, on: bool) -> Self {
+        self.telemetry = on;
         self
     }
 
@@ -85,7 +106,15 @@ impl SweepGrid {
             SeedMode::Derived(grid_seed) => cell_seed(grid_seed, index as u64),
             SeedMode::Fixed(seed) => seed,
         };
-        SweepCell { index, preset, benchmark, scale: self.scale, seed, mesh_k: self.mesh_k }
+        SweepCell {
+            index,
+            preset,
+            benchmark,
+            scale: self.scale,
+            seed,
+            mesh_k: self.mesh_k,
+            telemetry: self.telemetry,
+        }
     }
 
     /// All cells in index order.

@@ -3,7 +3,7 @@
 
 use serde::json::{Error, Value};
 use serde::{Deserialize, Serialize};
-use tenoc_core::RunMetrics;
+use tenoc_core::{RunMetrics, TelemetryReport};
 
 /// How fast the simulator itself ran for one cell.
 ///
@@ -73,11 +73,19 @@ pub struct RunRecord {
     pub fingerprint: String,
     /// Engine speed for this cell (not serialized, not fingerprinted).
     pub perf: RunPerf,
+    /// Telemetry reports when the cell ran with telemetry armed (not
+    /// serialized, not fingerprinted, not compared). Like [`RunPerf`],
+    /// this rides on the record as a side channel: the JSON-lines form,
+    /// golden fingerprints and equality stay byte-identical whether
+    /// telemetry was on or off, which is exactly the zero-cost-when-off
+    /// contract the golden CI job proves. A parsed record gets `None`.
+    pub telemetry: Option<Vec<TelemetryReport>>,
 }
 
 impl PartialEq for RunRecord {
     fn eq(&self, other: &Self) -> bool {
-        // Everything except `perf`: equality over the serialized content.
+        // Everything except `perf` and `telemetry`: equality over the
+        // serialized content.
         self.cell == other.cell
             && self.preset == other.preset
             && self.benchmark == other.benchmark
@@ -96,7 +104,7 @@ impl PartialEq for RunRecord {
 impl Serialize for RunRecord {
     fn to_value(&self) -> Value {
         // Field order matches declaration order, as the derive would
-        // produce; `perf` is intentionally absent.
+        // produce; `perf` and `telemetry` are intentionally absent.
         Value::Object(vec![
             ("cell".to_string(), self.cell.to_value()),
             ("preset".to_string(), self.preset.to_value()),
@@ -130,6 +138,7 @@ impl Deserialize for RunRecord {
             noc_dynamic_power_w: Deserialize::from_value(v.field("noc_dynamic_power_w")?)?,
             fingerprint: Deserialize::from_value(v.field("fingerprint")?)?,
             perf: RunPerf::default(),
+            telemetry: None,
         })
     }
 }
@@ -234,6 +243,7 @@ mod tests {
             noc_dynamic_power_w: 1.5,
             fingerprint: String::new(),
             perf: RunPerf::default(),
+            telemetry: None,
         };
         r.seal();
         r
@@ -294,6 +304,37 @@ mod tests {
         assert_eq!(timed.compute_fingerprint(), baseline.compute_fingerprint());
         assert!(timed.fingerprint_valid());
         assert!(!to_jsonl(&[timed]).contains("perf"));
+    }
+
+    /// Telemetry content differs with arming and run configuration; like
+    /// `perf`, it must leak into neither the JSON nor the fingerprint nor
+    /// equality, or golden checks with `--telemetry` would break.
+    #[test]
+    fn telemetry_is_excluded_from_json_and_fingerprint() {
+        let baseline = sample();
+        let mut traced = sample();
+        traced.telemetry = Some(vec![TelemetryReport {
+            label: "net".into(),
+            radix: 6,
+            cycles: 464,
+            hist: Default::default(),
+            links: Vec::new(),
+            heatmap: vec![vec![0.0; 6]; 6],
+            avg_occupancy: vec![0.0; 36],
+            flight: Vec::new(),
+            flight_dropped: 0,
+        }]);
+        assert_eq!(traced, baseline, "equality ignores telemetry");
+        assert_eq!(
+            to_jsonl(std::slice::from_ref(&traced)),
+            to_jsonl(std::slice::from_ref(&baseline))
+        );
+        assert_eq!(traced.compute_fingerprint(), baseline.compute_fingerprint());
+        assert!(traced.fingerprint_valid());
+        assert!(!to_jsonl(&[traced.clone()]).contains("telemetry"));
+        // And it does not survive a JSON round trip.
+        let back = from_jsonl(&to_jsonl(&[traced])).unwrap();
+        assert!(back[0].telemetry.is_none());
     }
 
     #[test]

@@ -3,6 +3,7 @@
 
 use crate::packet::{EjectedPacket, Packet};
 use crate::stats::NetStats;
+use crate::telemetry::{TelemetryConfig, TelemetryReport};
 use crate::tick::Tick;
 use crate::types::NodeId;
 
@@ -50,5 +51,19 @@ pub trait Interconnect: Tick {
     /// networks report zero — they have no links.
     fn flit_hops(&self) -> u64 {
         0
+    }
+
+    /// Arms the observability layer (latency histograms, link/VC
+    /// counters, occupancy sampling, flight recorder). The default is a
+    /// no-op: ideal networks have no links or buffers to observe.
+    /// Telemetry never changes simulated outcomes — with or without it,
+    /// every packet takes the same path at the same cycle.
+    fn enable_telemetry(&mut self, _cfg: TelemetryConfig) {}
+
+    /// Snapshots of every physical network's telemetry: one report for a
+    /// single mesh, two (request + reply) for a double network, none for
+    /// ideal networks or when telemetry was never enabled.
+    fn telemetry_reports(&self) -> Vec<TelemetryReport> {
+        Vec::new()
     }
 }

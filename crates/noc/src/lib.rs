@@ -60,6 +60,7 @@ pub mod router;
 pub mod routing;
 pub mod stats;
 pub mod synthetic;
+pub mod telemetry;
 pub mod tick;
 pub mod topology;
 pub mod types;
@@ -72,6 +73,10 @@ pub use network::{DoubleNetwork, Network};
 pub use packet::{EjectedPacket, Flit, Packet, PacketClass, PacketHeader, Phase};
 pub use routing::{OutPort, RouteDecision, VcSet};
 pub use stats::NetStats;
+pub use telemetry::{
+    ArmSpec, FlightEvent, FlightRecorder, LatencyHistogram, LatencyHistograms, LinkRecord,
+    TelemetryConfig, TelemetryReport,
+};
 pub use tick::Tick;
 pub use topology::{Mesh, Placement, RouterKind};
 pub use types::{Coord, Direction, NodeId};

@@ -9,6 +9,9 @@ use crate::packet::{EjectedPacket, Packet, PacketClass, PacketHeader};
 use crate::router::{RouteCtx, Router, RouterOutputs};
 use crate::routing::{self};
 use crate::stats::NetStats;
+use crate::telemetry::{
+    dir_label, FlightEvent, LinkRecord, NetTelemetry, TelemetryConfig, TelemetryReport,
+};
 use crate::tick::Tick;
 use crate::types::{Direction, NodeId};
 use rand::rngs::SmallRng;
@@ -54,6 +57,11 @@ pub struct Network {
     full_sweep: bool,
     /// Router `step` invocations since construction (scheduler telemetry).
     routers_stepped: u64,
+    /// Observability instruments (link counters, occupancy integrals, the
+    /// flight recorder). `None` — the default — keeps every hot path free
+    /// of telemetry work: no allocations, no RNG draws, no branches beyond
+    /// the `Option` check. See DESIGN.md §13.
+    telemetry: Option<Box<NetTelemetry>>,
 }
 
 impl Network {
@@ -100,6 +108,7 @@ impl Network {
             active: ActiveSet::all(n),
             full_sweep: false,
             routers_stepped: 0,
+            telemetry: None,
             cfg,
         }
     }
@@ -145,6 +154,76 @@ impl Network {
             }
         }
         out
+    }
+
+    /// Arms the observability layer: latency histograms in the stats,
+    /// per-link/per-VC flit counters, buffer-occupancy sampling, and the
+    /// flit flight recorder. All buffers are allocated here, once; the
+    /// instrumented paths never allocate afterwards. Telemetry observes
+    /// the simulation without influencing it — enabling it changes no
+    /// simulated outcome.
+    pub fn arm_telemetry(&mut self, tcfg: TelemetryConfig) {
+        self.stats.enable_histograms();
+        self.telemetry = Some(Box::new(NetTelemetry::new(
+            self.cfg.mesh.len(),
+            self.cfg.vcs.total as usize,
+            tcfg,
+        )));
+    }
+
+    /// `true` once [`Network::arm_telemetry`] has been called.
+    pub fn telemetry_armed(&self) -> bool {
+        self.telemetry.is_some()
+    }
+
+    /// Builds a serializable snapshot of the armed telemetry, labeled
+    /// `label` (e.g. `net`, `request`, `reply`). Returns `None` when
+    /// telemetry was never armed.
+    pub fn telemetry_report(&self, label: &str) -> Option<TelemetryReport> {
+        let t = self.telemetry.as_deref()?;
+        let radix = self.cfg.mesh.radix();
+        let cycles = self.stats.cycles;
+        let n = self.cfg.mesh.len();
+        let mut links = Vec::new();
+        let mut heatmap = vec![vec![0.0f64; radix]; radix];
+        for node in 0..n {
+            let coord = self.cfg.mesh.coord(node);
+            let mut util_sum = 0.0;
+            let mut degree = 0u32;
+            for dir in Direction::ALL {
+                if self.cfg.mesh.neighbor(node, dir).is_none() {
+                    continue;
+                }
+                let flits = t.link_flits(node, dir.index());
+                let utilization = if cycles == 0 { 0.0 } else { flits as f64 / cycles as f64 };
+                util_sum += utilization;
+                degree += 1;
+                links.push(LinkRecord {
+                    node: node as u64,
+                    x: coord.x,
+                    y: coord.y,
+                    dir: dir_label(dir).to_string(),
+                    flits,
+                    vc_flits: (0..self.cfg.vcs.total)
+                        .map(|vc| t.link_vc_flits(node, dir.index(), vc))
+                        .collect(),
+                    utilization,
+                });
+            }
+            heatmap[coord.y as usize][coord.x as usize] =
+                if degree == 0 { 0.0 } else { util_sum / degree as f64 };
+        }
+        Some(TelemetryReport {
+            label: label.to_string(),
+            radix: radix as u64,
+            cycles,
+            hist: self.stats.hist.unwrap_or_default(),
+            links,
+            heatmap,
+            avg_occupancy: (0..n).map(|node| t.avg_occupancy(node)).collect(),
+            flight: t.flight.events(),
+            flight_dropped: t.flight.dropped(),
+        })
     }
 
     /// NI phase for one node: streams one flit per busy injection port
@@ -239,6 +318,21 @@ impl Network {
         }
         for i in 0..self.scratch.flits.len() {
             let (out_port, vc, flit) = self.scratch.flits[i];
+            if let Some(t) = &mut self.telemetry {
+                if out_port < 4 {
+                    t.count_link_flit(node, out_port, vc);
+                }
+                if t.flight.armed_for(&flit.hdr) {
+                    t.flight.record(FlightEvent {
+                        packet: flit.hdr.id,
+                        class: flit.hdr.class.index() as u8,
+                        seq: flit.seq,
+                        node: node as u64,
+                        out_port: out_port as u8,
+                        cycle: now,
+                    });
+                }
+            }
             if out_port < 4 {
                 self.channels[node * 4 + out_port].push_flit(now + flit_delay, vc, flit);
                 let neighbor = self
@@ -339,8 +433,33 @@ impl Tick for Network {
                 i = node + 1;
             }
         }
+        if self.telemetry.is_some() {
+            self.sample_occupancy();
+        }
         self.stats.cycles += 1;
         self.cycle += 1;
+    }
+}
+
+impl Network {
+    /// Telemetry: accumulates this cycle's buffered-flit count per router.
+    /// Nodes outside the active set are provably idle (empty buffers, see
+    /// [`Network::node_idle`]), so sampling only active nodes is exact in
+    /// scheduler mode; the full sweep samples everyone.
+    fn sample_occupancy(&mut self) {
+        let t = self.telemetry.as_mut().expect("caller checked");
+        if self.full_sweep {
+            for node in 0..self.routers.len() {
+                t.add_occupancy_sample(node, self.routers[node].occupancy() as u64);
+            }
+        } else {
+            let mut i = 0;
+            while let Some(node) = self.active.next_from(i) {
+                t.add_occupancy_sample(node, self.routers[node].occupancy() as u64);
+                i = node + 1;
+            }
+        }
+        t.tick_occupancy();
     }
 }
 
@@ -401,6 +520,14 @@ impl Interconnect for Network {
 
     fn flit_hops(&self) -> u64 {
         self.channels.iter().map(Channel::total_flits).sum()
+    }
+
+    fn enable_telemetry(&mut self, cfg: TelemetryConfig) {
+        self.arm_telemetry(cfg);
+    }
+
+    fn telemetry_reports(&self) -> Vec<TelemetryReport> {
+        self.telemetry_report("net").into_iter().collect()
     }
 }
 
@@ -493,8 +620,16 @@ impl Interconnect for DoubleNetwork {
     }
 
     fn stats(&self) -> NetStats {
+        // The slices tick in lockstep (see `Tick for DoubleNetwork`), so
+        // they satisfy merge_parallel's same-window contract by
+        // construction; the assert guards against a future skewed-clock
+        // refactor silently inflating rates.
+        debug_assert_eq!(
+            self.request.stats.cycles, self.reply.stats.cycles,
+            "double-network slices must share one clock"
+        );
         let mut s = self.request.stats();
-        s.merge(&self.reply.stats);
+        s.merge_parallel(&self.reply.stats);
         s
     }
 
@@ -504,6 +639,19 @@ impl Interconnect for DoubleNetwork {
 
     fn flit_hops(&self) -> u64 {
         self.request.flit_hops() + self.reply.flit_hops()
+    }
+
+    fn enable_telemetry(&mut self, cfg: TelemetryConfig) {
+        self.request.arm_telemetry(cfg);
+        self.reply.arm_telemetry(cfg);
+    }
+
+    fn telemetry_reports(&self) -> Vec<TelemetryReport> {
+        self.request
+            .telemetry_report("request")
+            .into_iter()
+            .chain(self.reply.telemetry_report("reply"))
+            .collect()
     }
 }
 
@@ -795,6 +943,119 @@ mod tests {
         }
         assert_eq!(delivered, 24);
         assert_eq!(net.in_flight(), 0);
+    }
+
+    /// Telemetry reproduces the lone packet's path: link counters match
+    /// `link_loads`, the flight recorder holds one event per hop plus the
+    /// ejection, and the heatmap has mesh dimensions.
+    #[test]
+    fn telemetry_traces_a_single_packet() {
+        let cfg = NetworkConfig::baseline_mesh(6);
+        let mut net = Network::new(cfg);
+        net.arm_telemetry(crate::telemetry::TelemetryConfig::default());
+        // 0 -> 3: three eastward hops along row 0, one flit.
+        net.try_inject(0, Packet::request(0, 3, 8, 0)).unwrap();
+        for _ in 0..100 {
+            net.step();
+        }
+        net.pop(3).expect("delivered");
+        let report = net.telemetry_report("net").expect("telemetry armed");
+        assert_eq!(report.label, "net");
+        assert_eq!(report.radix, 6);
+        assert_eq!(report.heatmap.len(), 6);
+        assert!(report.heatmap.iter().all(|row| row.len() == 6));
+        // Link records agree with the channel counters.
+        let recorded: u64 = report.links.iter().map(|l| l.flits).sum();
+        let channel_total: u64 = net.link_loads().iter().map(|&(_, _, f)| f).sum();
+        assert_eq!(recorded, channel_total);
+        assert_eq!(recorded, 3, "one flit crosses exactly three links");
+        for l in &report.links {
+            assert_eq!(l.vc_flits.iter().sum::<u64>(), l.flits, "per-VC counts sum to total");
+            if l.flits > 0 {
+                assert_eq!(l.dir, "E");
+                assert!(l.utilization > 0.0);
+            }
+        }
+        // Only row-0 nodes show heat.
+        assert!(report.heatmap[0][0] > 0.0);
+        assert_eq!(report.heatmap[5][5], 0.0);
+        // Flight recorder: 3 link hops + 1 ejection, in time order.
+        assert_eq!(report.flight.len(), 4);
+        assert_eq!(report.flight_dropped, 0);
+        let nodes: Vec<u64> = report.flight.iter().map(|e| e.node).collect();
+        assert_eq!(nodes, vec![0, 1, 2, 3]);
+        assert!(report.flight.windows(2).all(|w| w[0].cycle < w[1].cycle));
+        assert!(report.flight.last().unwrap().out_port >= 4, "last event is the ejection");
+        // Histograms saw the packet in both latency views, request class.
+        assert_eq!(report.hist.total[0].count(), 1);
+        assert_eq!(report.hist.network[0].count(), 1);
+        assert_eq!(report.hist.total[1].count(), 0);
+        // Occupancy integral is positive somewhere along the path.
+        assert!(report.avg_occupancy.iter().any(|&o| o > 0.0));
+    }
+
+    /// Arming telemetry changes no simulated outcome: same stats, same
+    /// cycle count, same flit-hops as an unarmed twin.
+    #[test]
+    fn telemetry_does_not_perturb_the_simulation() {
+        let run = |armed: bool| {
+            let cfg = NetworkConfig::checkerboard_mesh(6);
+            let mcs = cfg.mc_nodes.clone();
+            let mut net = Network::new(cfg);
+            if armed {
+                net.arm_telemetry(crate::telemetry::TelemetryConfig::default());
+            }
+            for (i, node) in (0..36).filter(|n| !mcs.contains(n)).enumerate() {
+                net.try_inject(node, Packet::request(node, mcs[i % mcs.len()], 64, i as u64))
+                    .unwrap();
+            }
+            for _ in 0..500 {
+                net.step();
+            }
+            let mut s = net.stats();
+            s.hist = None; // the only intended divergence
+            (s, net.cycle(), net.flit_hops())
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    /// A node-armed flight recorder only captures that node's traffic.
+    #[test]
+    fn flight_recorder_arms_per_node() {
+        let cfg = NetworkConfig::baseline_mesh(6);
+        let mut net = Network::new(cfg);
+        net.arm_telemetry(crate::telemetry::TelemetryConfig {
+            flight_capacity: 64,
+            arm: crate::telemetry::ArmSpec { node: Some(3), class: None },
+        });
+        net.try_inject(0, Packet::request(0, 3, 8, 7)).unwrap(); // matches (dst 3)
+        net.try_inject(30, Packet::request(30, 35, 8, 8)).unwrap(); // unrelated
+        for _ in 0..100 {
+            net.step();
+        }
+        let report = net.telemetry_report("net").unwrap();
+        assert!(!report.flight.is_empty());
+        assert!(report.flight.iter().all(|e| e.packet == report.flight[0].packet));
+    }
+
+    /// The double network yields one labeled report per slice.
+    #[test]
+    fn double_network_reports_both_slices() {
+        let cfg = NetworkConfig::baseline_mesh(6);
+        let mut dn = DoubleNetwork::from_single(&cfg);
+        dn.enable_telemetry(crate::telemetry::TelemetryConfig::default());
+        dn.try_inject(0, Packet::request(0, 10, 8, 1)).unwrap();
+        dn.try_inject(10, Packet::reply(10, 0, 64, 2)).unwrap();
+        for _ in 0..300 {
+            dn.step();
+        }
+        let reports = dn.telemetry_reports();
+        assert_eq!(reports.len(), 2);
+        assert_eq!(reports[0].label, "request");
+        assert_eq!(reports[1].label, "reply");
+        assert_eq!(reports[0].hist.total[0].count(), 1, "request slice saw the request");
+        assert_eq!(reports[1].hist.total[1].count(), 1, "reply slice saw the reply");
+        assert!(reports.iter().all(|r| !r.flight.is_empty()));
     }
 
     /// Wider channels shrink packet flit counts.

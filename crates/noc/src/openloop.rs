@@ -71,6 +71,17 @@ impl OpenLoopConfig {
             seed: 0x0f21,
         }
     }
+
+    /// `true` when a packet generated at cycle `now` belongs to the
+    /// measurement window: **inclusive** of `warmup` (the first measured
+    /// cycle), **exclusive** of `warmup + measure` (the first drain
+    /// cycle). The single source of truth for measurement membership —
+    /// both the generation and the throughput-accounting paths of
+    /// [`run_open_loop`] go through here, so the boundary semantics
+    /// cannot drift apart.
+    pub fn in_measurement_window(&self, now: u64) -> bool {
+        (self.warmup..self.warmup + self.measure).contains(&now)
+    }
 }
 
 /// Result of one open-loop run at one injection rate.
@@ -119,7 +130,6 @@ pub fn run_open_loop(cfg: &OpenLoopConfig) -> OpenLoopResult {
     let mut reply_q: Vec<VecDeque<Packet>> = vec![VecDeque::new(); nodes];
 
     let total = cfg.warmup + cfg.measure + cfg.drain;
-    let meas_start = cfg.warmup;
     let meas_end = cfg.warmup + cfg.measure;
 
     let mut generated_measured = 0u64;
@@ -137,7 +147,7 @@ pub fn run_open_loop(cfg: &OpenLoopConfig) -> OpenLoopResult {
                     let mut p = Packet::request(c, dst, cfg.request_bytes, 0);
                     p.header.created = now;
                     src_q[c].push_back(p);
-                    if (meas_start..meas_end).contains(&now) {
+                    if cfg.in_measurement_window(now) {
                         generated_measured += 1;
                         // Mark measured packets via the tag.
                         src_q[c].back_mut().unwrap().header.tag = 1;
@@ -165,7 +175,7 @@ pub fn run_open_loop(cfg: &OpenLoopConfig) -> OpenLoopResult {
                     let l = req.total_latency();
                     lat_sum[0] += l;
                     lat_cnt[0] += 1;
-                    if (meas_start..meas_end).contains(&req.header.created) {
+                    if cfg.in_measurement_window(req.header.created) {
                         ejected_flits_window += req.header.flits as u64;
                     }
                 }
@@ -316,6 +326,31 @@ mod tests {
         }
         let frac = hot_hits as f64 / n as f64;
         assert!((frac - 0.2).abs() < 0.02, "hot fraction {frac}");
+    }
+
+    /// Satellite regression: pin the measurement-window boundaries so
+    /// inclusive/exclusive semantics can't drift. A packet generated
+    /// exactly at `warmup` is measured; one generated exactly at
+    /// `warmup + measure` is not.
+    #[test]
+    fn measurement_window_boundaries_are_pinned() {
+        let cfg = quick_cfg(0.01); // warmup 500, measure 1500
+        assert!(!cfg.in_measurement_window(cfg.warmup - 1), "last warm-up cycle is unmeasured");
+        assert!(cfg.in_measurement_window(cfg.warmup), "first measured cycle is warmup itself");
+        assert!(cfg.in_measurement_window(cfg.warmup + cfg.measure - 1), "last measured cycle");
+        assert!(
+            !cfg.in_measurement_window(cfg.warmup + cfg.measure),
+            "a packet generated at warmup + measure belongs to the drain, not the window"
+        );
+    }
+
+    /// The window helper is the arbiter for a degenerate zero-length
+    /// window: nothing is ever measured.
+    #[test]
+    fn zero_length_window_measures_nothing() {
+        let mut cfg = quick_cfg(0.01);
+        cfg.measure = 0;
+        assert!(!cfg.in_measurement_window(cfg.warmup));
     }
 
     #[test]

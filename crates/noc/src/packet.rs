@@ -29,6 +29,16 @@ impl PacketClass {
     pub fn index(self) -> usize {
         self as usize
     }
+
+    /// Inverse of [`PacketClass::index`]; `None` for indices other than 0
+    /// and 1 (e.g. a corrupted serialized class byte).
+    pub fn from_index(i: usize) -> Option<PacketClass> {
+        match i {
+            0 => Some(PacketClass::Request),
+            1 => Some(PacketClass::Reply),
+            _ => None,
+        }
+    }
 }
 
 /// Routing phase of a packet under dimension-ordered or checkerboard
@@ -244,5 +254,9 @@ mod tests {
     fn class_index() {
         assert_eq!(PacketClass::Request.index(), 0);
         assert_eq!(PacketClass::Reply.index(), 1);
+        for c in PacketClass::ALL {
+            assert_eq!(PacketClass::from_index(c.index()), Some(c));
+        }
+        assert_eq!(PacketClass::from_index(2), None);
     }
 }

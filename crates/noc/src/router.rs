@@ -219,6 +219,12 @@ impl Router {
         self.inputs.iter().map(InputUnit::occupancy).sum()
     }
 
+    /// Flits buffered on one virtual channel, summed over all input
+    /// ports (telemetry: per-VC buffer-occupancy breakdown).
+    pub fn vc_occupancy(&self, vc: u8) -> usize {
+        self.inputs.iter().map(|i| i.vc(vc).len()).sum()
+    }
+
     /// `true` when a `step` would be a no-op: no input VC holds a flit.
     ///
     /// With empty FIFOs every pipeline stage bails out before touching an

@@ -2,6 +2,7 @@
 //! accounting used by the paper's figures.
 
 use crate::packet::{EjectedPacket, PacketClass};
+use crate::telemetry::LatencyHistograms;
 use serde::{Deserialize, Serialize};
 
 /// Aggregated statistics of a network (or a pair of sliced networks).
@@ -28,6 +29,10 @@ pub struct NetStats {
     /// ports were busy (the paper's "MC stalled by reply network" signal
     /// when read at MC nodes).
     pub inject_blocked_by_node: Vec<u64>,
+    /// Optional log2-bucketed latency histograms (telemetry). `None` — the
+    /// default — keeps [`NetStats::record_ejection`] free of histogram
+    /// work, preserving the zero-cost-when-off telemetry contract.
+    pub hist: Option<LatencyHistograms>,
 }
 
 impl NetStats {
@@ -43,7 +48,14 @@ impl NetStats {
             ejected_flits_by_node: vec![0; nodes],
             inject_attempts_by_node: vec![0; nodes],
             inject_blocked_by_node: vec![0; nodes],
+            hist: None,
         }
+    }
+
+    /// Turns on latency-histogram collection. Ejections recorded before
+    /// this call are not retroactively bucketed.
+    pub fn enable_histograms(&mut self) {
+        self.hist.get_or_insert_with(LatencyHistograms::default);
     }
 
     /// Records an ejected packet.
@@ -55,6 +67,10 @@ impl NetStats {
         self.net_latency_sum[c] += pkt.network_latency();
         if let Some(e) = self.ejected_flits_by_node.get_mut(pkt.header.dst) {
             *e += pkt.header.flits as u64;
+        }
+        if let Some(h) = &mut self.hist {
+            h.total[c].record(pkt.total_latency());
+            h.network[c].record(pkt.network_latency());
         }
     }
 
@@ -97,16 +113,25 @@ impl NetStats {
     }
 
     /// Mean flits a node injected per cycle.
+    ///
+    /// Bounds-safe: an out-of-range `node` reads as zero traffic, matching
+    /// how [`NetStats::record_ejection`] treats an unknown destination.
     pub fn injection_rate(&self, node: usize) -> f64 {
         if self.cycles == 0 {
             return 0.0;
         }
-        self.injected_flits_by_node[node] as f64 / self.cycles as f64
+        match self.injected_flits_by_node.get(node) {
+            Some(&f) => f as f64 / self.cycles as f64,
+            None => 0.0,
+        }
     }
 
     /// Fraction of `try_inject` calls at `node` that were refused.
+    ///
+    /// Bounds-safe: an out-of-range `node` has made no attempts, so its
+    /// blocked fraction is zero.
     pub fn blocked_fraction(&self, node: usize) -> f64 {
-        let a = self.inject_attempts_by_node[node];
+        let a = self.inject_attempts_by_node.get(node).copied().unwrap_or(0);
         if a == 0 {
             return 0.0;
         }
@@ -122,19 +147,38 @@ impl NetStats {
         self.total_flits() as f64 / self.cycles as f64 / nodes as f64
     }
 
-    /// Merges statistics from another network (e.g. the second slice of a
-    /// double network).
+    /// Merges statistics from another network that simulated the **same
+    /// measurement window in parallel** — e.g. the second slice of a
+    /// double network, which shares the clock with the first.
+    ///
+    /// The combined cycle count is `max(self.cycles, other.cycles)`, which
+    /// is only correct under that parallel-slice contract (the slices ran
+    /// *concurrently*, so wall cycles do not add). Merging *sequential*
+    /// segments with this method would under-count cycles and inflate
+    /// every per-cycle rate; a `debug_assert` rejects windows that differ.
     ///
     /// # Panics
     ///
-    /// Panics if the node counts differ.
-    pub fn merge(&mut self, other: &NetStats) {
+    /// Panics if the node counts differ. In debug builds, panics if the
+    /// cycle counts differ (the slices did not share a clock).
+    pub fn merge_parallel(&mut self, other: &NetStats) {
         assert_eq!(
             self.injected_flits_by_node.len(),
             other.injected_flits_by_node.len(),
             "cannot merge stats over different node counts"
         );
+        debug_assert_eq!(
+            self.cycles, other.cycles,
+            "merge_parallel requires slices of the same measurement window \
+             (parallel-slice contract); sequential segments must not be \
+             merged with max(cycles)"
+        );
         self.cycles = self.cycles.max(other.cycles);
+        match (&mut self.hist, &other.hist) {
+            (Some(a), Some(b)) => a.merge(b),
+            (None, Some(b)) => self.hist = Some(*b),
+            _ => {}
+        }
         for c in 0..2 {
             self.packets[c] += other.packets[c];
             self.flits[c] += other.flits[c];
@@ -201,10 +245,93 @@ mod tests {
         b.record_ejection(&ejected(PacketClass::Reply, 4, 0, 0, 8));
         b.inject_attempts_by_node[0] = 10;
         b.inject_blocked_by_node[0] = 5;
-        a.merge(&b);
+        a.merge_parallel(&b);
         assert_eq!(a.total_packets(), 2);
         assert_eq!(a.total_flits(), 5);
         assert_eq!(a.blocked_fraction(0), 0.5);
+    }
+
+    /// Satellite regression: `injection_rate`/`blocked_fraction` used to
+    /// panic on an out-of-range node while `record_ejection` silently
+    /// ignored a bad `dst`. All three are now bounds-safe and consistent.
+    #[test]
+    fn out_of_range_node_is_safe_and_consistent() {
+        let mut s = NetStats::new(2);
+        s.cycles = 10;
+        s.injected_flits_by_node[0] = 5;
+        // A packet whose dst is outside the node range: class counters
+        // still advance, per-node ejection accounting is skipped.
+        s.record_ejection(&ejected_to(PacketClass::Reply, 99));
+        assert_eq!(s.total_packets(), 1);
+        assert_eq!(s.ejected_flits_by_node, vec![0, 0]);
+        // Rate accessors return 0.0 instead of panicking.
+        assert_eq!(s.injection_rate(99), 0.0);
+        assert_eq!(s.blocked_fraction(99), 0.0);
+        // In-range behavior is unchanged.
+        assert!((s.injection_rate(0) - 0.5).abs() < 1e-9);
+    }
+
+    fn ejected_to(class: PacketClass, dst: usize) -> EjectedPacket {
+        let mut p = Packet::new(class, 0, dst, 64, 0);
+        p.header.flits = 4;
+        p.header.created = 0;
+        p.header.injected = 0;
+        EjectedPacket { header: p.header, ejected: 8 }
+    }
+
+    /// Satellite regression: the parallel-slice contract of
+    /// [`NetStats::merge_parallel`]. Same-window merges keep the shared
+    /// cycle count; mismatched windows are rejected in debug builds.
+    #[test]
+    fn merge_parallel_keeps_shared_clock() {
+        let mut a = NetStats::new(2);
+        let mut b = NetStats::new(2);
+        a.cycles = 250;
+        b.cycles = 250;
+        a.merge_parallel(&b);
+        assert_eq!(a.cycles, 250, "parallel slices share one clock");
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "parallel-slice contract")]
+    fn merge_parallel_rejects_mismatched_windows() {
+        let mut a = NetStats::new(2);
+        let mut b = NetStats::new(2);
+        a.cycles = 100;
+        b.cycles = 250;
+        a.merge_parallel(&b);
+    }
+
+    #[test]
+    fn merge_parallel_combines_histograms() {
+        let mut a = NetStats::new(2);
+        let mut b = NetStats::new(2);
+        b.enable_histograms();
+        b.record_ejection(&ejected(PacketClass::Request, 1, 0, 2, 10));
+        // None + Some adopts the other side's histograms.
+        a.merge_parallel(&b);
+        let h = a.hist.expect("histograms adopted from merged slice");
+        assert_eq!(h.total[0].count(), 1);
+        // Some + Some adds counts.
+        a.merge_parallel(&b);
+        assert_eq!(a.hist.unwrap().total[0].count(), 2);
+    }
+
+    #[test]
+    fn histograms_record_both_latencies_when_enabled() {
+        let mut s = NetStats::new(4);
+        s.record_ejection(&ejected(PacketClass::Request, 1, 0, 2, 10));
+        assert!(s.hist.is_none(), "histograms are off by default");
+        s.enable_histograms();
+        s.record_ejection(&ejected(PacketClass::Reply, 4, 5, 6, 25));
+        let h = s.hist.unwrap();
+        assert_eq!(h.total[0].count(), 0, "pre-enable ejections not bucketed");
+        assert_eq!(h.total[1].count(), 1);
+        assert_eq!(h.network[1].count(), 1);
+        // total latency 20 → bucket [16,32); network latency 19 → same.
+        assert_eq!(h.total[1].buckets[5], 1);
+        assert_eq!(h.network[1].buckets[5], 1);
     }
 
     #[test]

@@ -4,8 +4,10 @@
 //! tenoc run --benchmark RD --preset thr-eff [--scale 0.2] [--json]
 //! tenoc suite --preset baseline [--scale 0.12] [--json]
 //! tenoc sweep [--presets baseline,thr-eff|all] [--benchmarks HIS,MM|smoke|all]
-//!             [--scale 0.12] [--seed N] [--jobs N] [--out FILE]
+//!             [--scale 0.12] [--seed N] [--jobs N] [--out FILE] [--telemetry]
 //!             [--tiny] [--golden FILE --check|--bless]
+//! tenoc trace --preset thr-eff [--benchmark RD] [--scale F] [--out DIR]
+//!             [--flight-cap N] [--node N] [--class request|reply]
 //! tenoc openloop --preset cp-cr-2p [--hotspot] [--rates 0.01..0.12]
 //! tenoc engine-bench [--scale F] [--out FILE]
 //! tenoc area
@@ -63,8 +65,12 @@ fn usage() -> ExitCode {
            run       --benchmark <ABBR> --preset <NAME> [--scale F] [--json]\n\
            suite     --preset <NAME> [--scale F] [--json]\n\
            sweep     [--presets A,B|all] [--benchmarks X,Y|smoke|all] [--scale F]\n\
-                     [--seed N] [--jobs N] [--out FILE]\n\
+                     [--seed N] [--jobs N] [--out FILE] [--telemetry]\n\
                      [--tiny] [--golden FILE --check|--bless]\n\
+           trace     --preset <NAME> [--benchmark <ABBR>] [--scale F] [--out DIR]\n\
+                     [--flight-cap N] [--node N] [--class request|reply]\n\
+                     (telemetry artifacts: latency histograms, link heatmap,\n\
+                      flight recorder -> trace.json + flight.jsonl)\n\
            openloop  --preset <NAME> [--hotspot] [--rate F]\n\
            engine-bench [--scale F] [--out FILE] (simulator speed probe)\n\
            area      (Table VI summary)\n\
@@ -126,6 +132,7 @@ fn main() -> ExitCode {
             }
         }
         "sweep" => return cmd_sweep(&flags, scale),
+        "trace" => return cmd_trace(&flags, scale),
         "engine-bench" => return cmd_engine_bench(&flags),
         "openloop" => {
             let Some(preset) = flags.get("preset").and_then(|p| preset_by_flag(p)) else {
@@ -217,6 +224,112 @@ fn serde_json_line(name: &str, preset: Preset, m: &tenoc::core::RunMetrics) -> S
         preset.label(),
         serde_json::to_string(m).expect("metrics are plain data")
     )
+}
+
+/// `tenoc trace`: run one benchmark on one preset with the telemetry
+/// layer armed and emit the artifacts — `trace.json` (metrics, per-class
+/// latency histograms, per-link utilization with a mesh heatmap, mean
+/// buffer occupancies) and `flight.jsonl` (one flight-recorder event per
+/// line, tagged with its network slice).
+fn cmd_trace(flags: &HashMap<String, String>, scale: f64) -> ExitCode {
+    use serde::Serialize;
+    use tenoc::core::experiments::run_traced;
+    use tenoc::noc::{ArmSpec, PacketClass, TelemetryConfig};
+
+    let Some(preset) = flags.get("preset").and_then(|p| preset_by_flag(p)) else {
+        eprintln!("trace: missing or unknown --preset");
+        return usage();
+    };
+    let bench = flags.get("benchmark").map(String::as_str).unwrap_or("RD");
+    let Some(spec) = by_name(bench) else {
+        eprintln!("unknown benchmark {bench}; see `tenoc list`");
+        return ExitCode::FAILURE;
+    };
+    let class = match flags.get("class").map(String::as_str) {
+        None => None,
+        Some("request") => Some(PacketClass::Request),
+        Some("reply") => Some(PacketClass::Reply),
+        Some(other) => {
+            eprintln!("trace: --class must be request or reply, got {other}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let tcfg = TelemetryConfig {
+        flight_capacity: flags
+            .get("flight-cap")
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or(TelemetryConfig::default().flight_capacity),
+        arm: ArmSpec { node: flags.get("node").and_then(|v| v.parse::<usize>().ok()), class },
+    };
+
+    eprintln!("trace: {} on {} at scale {scale}", spec.name, preset.label());
+    let (metrics, reports) = run_traced(preset, &spec, scale, tcfg);
+    if reports.is_empty() {
+        eprintln!(
+            "trace: preset {} has no physical network to observe (ideal model)",
+            preset.label()
+        );
+        return ExitCode::FAILURE;
+    }
+
+    let dir = flags.get("out").map(String::as_str).unwrap_or("trace-out");
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("trace: cannot create {dir}: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    // trace.json: everything except the flight events (those go to the
+    // JSON-lines file, which is friendlier to streaming consumers).
+    let trace = serde::json::Value::Object(vec![
+        ("preset".to_string(), preset.label().to_value()),
+        ("benchmark".to_string(), spec.name.to_value()),
+        ("scale".to_string(), scale.to_value()),
+        ("metrics".to_string(), metrics.to_value()),
+        ("reports".to_string(), reports.to_value()),
+    ]);
+    let trace_path = format!("{dir}/trace.json");
+    if let Err(e) = std::fs::write(&trace_path, trace.to_json_pretty()) {
+        eprintln!("trace: cannot write {trace_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    // flight.jsonl: every slice's ring-buffer sample, one event per line,
+    // tagged with the slice label.
+    let mut flight = String::new();
+    let mut events = 0usize;
+    for r in &reports {
+        for ev in &r.flight {
+            let mut obj = vec![("net".to_string(), r.label.to_value())];
+            if let serde::json::Value::Object(fields) = ev.to_value() {
+                obj.extend(fields);
+            }
+            flight.push_str(&serde::json::Value::Object(obj).to_json_compact());
+            flight.push('\n');
+            events += 1;
+        }
+    }
+    let flight_path = format!("{dir}/flight.jsonl");
+    if let Err(e) = std::fs::write(&flight_path, &flight) {
+        eprintln!("trace: cannot write {flight_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    for r in &reports {
+        let req = r.hist.network[0].count();
+        let rep = r.hist.network[1].count();
+        eprintln!(
+            "trace: [{}] {} cycles, {} links, {} flight events ({} dropped), hist req/rep {}/{}",
+            r.label,
+            r.cycles,
+            r.links.len(),
+            r.flight.len(),
+            r.flight_dropped,
+            req,
+            rep
+        );
+    }
+    eprintln!("trace: wrote {trace_path} and {flight_path} ({events} events)");
+    ExitCode::SUCCESS
 }
 
 /// `tenoc engine-bench`: measure how fast the simulator itself runs —
@@ -314,6 +427,9 @@ fn cmd_sweep(flags: &HashMap<String, String>, scale: f64) -> ExitCode {
         let seed = flags.get("seed").and_then(|s| s.parse::<u64>().ok()).unwrap_or(0x7e0c);
         SweepGrid::new(presets, benchmarks, scale).with_seed_mode(SeedMode::Derived(seed))
     };
+    // Telemetry rides the records' non-serialized side channel, so armed
+    // and unarmed sweeps emit byte-identical JSONL.
+    let grid = grid.with_telemetry(flags.contains_key("telemetry"));
 
     let jobs = flags
         .get("jobs")
