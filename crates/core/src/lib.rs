@@ -32,6 +32,7 @@
 #![warn(missing_docs)]
 
 pub mod area;
+pub mod audit;
 pub mod clock;
 pub mod experiments;
 pub mod mc;
@@ -42,6 +43,7 @@ pub mod report;
 pub mod system;
 
 pub use area::{AreaModel, ChipArea, RouterArea};
+pub use audit::{audit_grid, audit_icnt, AuditEntry, AuditReport};
 pub use clock::{ClockConfig, Clocks, Domain};
 pub use mc::{McConfig, McNode, McRequest, McStats, Reply};
 pub use metrics::{arithmetic_mean, harmonic_mean, RunMetrics};

@@ -258,6 +258,13 @@ impl NetworkConfig {
         }
     }
 
+    /// The compute (non-MC) nodes of the mesh, in node order — the "many"
+    /// side of the paper's many-to-few traffic. The complement of
+    /// `mc_nodes`.
+    pub fn compute_nodes(&self) -> Vec<NodeId> {
+        self.mesh.nodes().filter(|n| !self.mc_nodes.contains(n)).collect()
+    }
+
     /// Router timing for `node` (half-routers may have a shorter pipeline).
     pub fn timing(&self, node: NodeId) -> RouterTiming {
         match self.mesh.kind(node) {

@@ -92,6 +92,15 @@ pub struct OpenLoopResult {
     /// Accepted throughput over the measurement window, in ejected flits
     /// per cycle per node (all nodes, both classes).
     pub accepted: f64,
+    /// Flits ejected *during* the measurement window per cycle per node,
+    /// regardless of when they were generated — the classic
+    /// accepted-throughput metric. Unlike [`accepted`](Self::accepted)
+    /// (which follows window-generated packets into the drain and can
+    /// transiently exceed sustainable rates past saturation), this is a
+    /// steady-state rate bounded by the fabric's physical capacity, so it
+    /// is the quantity the static saturation bound (`tenoc-verify`'s
+    /// `LoadReport::accepted_bound`) is validated against.
+    pub ejection_rate: f64,
     /// Mean latency of measured packets (generation to ejection),
     /// requests and replies combined.
     pub avg_latency: f64,
@@ -118,11 +127,24 @@ impl OpenLoopResult {
 ///
 /// Panics if the configuration has no MC nodes or fails validation.
 pub fn run_open_loop(cfg: &OpenLoopConfig) -> OpenLoopResult {
+    let mut net = Network::new(cfg.net.clone());
+    run_open_loop_on(cfg, &mut net)
+}
+
+/// Runs one open-loop simulation on a caller-provided network, so the
+/// caller can observe the fabric afterwards — arm telemetry beforehand
+/// ([`Network::arm_telemetry`]) or read [`Network::link_loads`] after the
+/// run. The network must be freshly built from `cfg.net` (the traffic
+/// generator addresses `cfg.net`'s compute and MC nodes).
+///
+/// # Panics
+///
+/// Panics if the configuration has no MC nodes.
+pub fn run_open_loop_on(cfg: &OpenLoopConfig, net: &mut Network) -> OpenLoopResult {
     assert!(!cfg.net.mc_nodes.is_empty(), "open-loop traffic needs MC nodes");
     let mcs = cfg.net.mc_nodes.clone();
     let nodes = cfg.net.mesh.len();
     let compute: Vec<NodeId> = (0..nodes).filter(|n| !mcs.contains(n)).collect();
-    let mut net = Network::new(cfg.net.clone());
     let mut rng = SmallRng::seed_from_u64(cfg.seed);
 
     // Unbounded source queues (standard open-loop methodology).
@@ -137,6 +159,7 @@ pub fn run_open_loop(cfg: &OpenLoopConfig) -> OpenLoopResult {
     let mut lat_sum = [0u64; 2];
     let mut lat_cnt = [0u64; 2];
     let mut ejected_flits_window = 0u64;
+    let mut ejected_flits_in_window = 0u64;
 
     for now in 0..total {
         // Generate new requests at the compute nodes.
@@ -169,8 +192,15 @@ pub fn run_open_loop(cfg: &OpenLoopConfig) -> OpenLoopResult {
         for &mc in &mcs {
             while let Some(req) = net.pop(mc) {
                 let mut rep = Packet::reply(mc, req.header.src, cfg.reply_bytes, req.header.tag);
-                rep.header.created = now + 1;
+                // Stamped at the service cycle, matching the request
+                // convention (created == first cycle the packet can
+                // inject); stamping now+1 would credit replies one cycle
+                // of latency they never paid.
+                rep.header.created = now;
                 reply_q[mc].push_back(rep);
+                if cfg.in_measurement_window(now) {
+                    ejected_flits_in_window += req.header.flits as u64;
+                }
                 if req.header.tag == 1 {
                     let l = req.total_latency();
                     lat_sum[0] += l;
@@ -191,6 +221,9 @@ pub fn run_open_loop(cfg: &OpenLoopConfig) -> OpenLoopResult {
         // Compute nodes: consume replies.
         for &c in &compute {
             while let Some(rep) = net.pop(c) {
+                if cfg.in_measurement_window(now) {
+                    ejected_flits_in_window += rep.header.flits as u64;
+                }
                 if rep.header.tag == 1 {
                     let l = rep.total_latency();
                     lat_sum[1] += l;
@@ -208,6 +241,7 @@ pub fn run_open_loop(cfg: &OpenLoopConfig) -> OpenLoopResult {
     OpenLoopResult {
         offered: cfg.injection_rate,
         accepted: ejected_flits_window as f64 / cfg.measure as f64 / nodes as f64,
+        ejection_rate: ejected_flits_in_window as f64 / cfg.measure as f64 / nodes as f64,
         avg_latency: if total_cnt == 0 {
             f64::INFINITY
         } else {

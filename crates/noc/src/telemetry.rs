@@ -381,6 +381,13 @@ impl TelemetryReport {
         serde_json::from_str(s)
     }
 
+    /// The busiest physical link: the record with the most flits,
+    /// breaking ties toward the lowest `(node, dir)` in record order.
+    /// `None` when the report has no links (a 1×1 mesh).
+    pub fn hottest_link(&self) -> Option<&LinkRecord> {
+        self.links.iter().reduce(|best, r| if r.flits > best.flits { r } else { best })
+    }
+
     /// Flight events serialized as JSON lines (one event per line).
     pub fn flight_jsonl(&self) -> String {
         let mut out = String::new();

@@ -132,6 +132,20 @@ impl Mesh {
         0..self.len()
     }
 
+    /// Iterator over every directed physical channel `(source node,
+    /// direction)`, in node-major order — the same order
+    /// [`crate::Network::link_loads`] and the telemetry link records use,
+    /// so static analyses and dynamic observations index links
+    /// identically.
+    pub fn links(&self) -> impl Iterator<Item = (NodeId, Direction)> + '_ {
+        self.nodes().flat_map(move |node| {
+            Direction::ALL
+                .into_iter()
+                .filter(move |&dir| self.neighbor(node, dir).is_some())
+                .map(move |dir| (node, dir))
+        })
+    }
+
     /// Baseline top-bottom MC placement (paper Figure 3): `n_mc / 2` MCs
     /// centered on the top row and the rest centered on the bottom row.
     ///

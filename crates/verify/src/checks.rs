@@ -9,73 +9,11 @@
 //! of it.
 
 use crate::cdg::{Cdg, Witness};
+use crate::route::{trace, RouteTrace};
 use crate::{CheckKind, Finding, VerifyStats};
-use tenoc_noc::routing::{next_hop, plan_options, vc_set_for, OutPort, VcSet};
+use tenoc_noc::routing::{plan_options, vc_set_for, VcSet};
 use tenoc_noc::topology::{connection_allowed, InPort, OutPortKind};
-use tenoc_noc::{
-    Direction, Mesh, NetworkConfig, NodeId, Packet, PacketClass, Phase, RoutingKind, VcLayout,
-};
-
-/// One fully walked route for one plan of one (src, dst, class) triple.
-struct RouteTrace {
-    phase: Phase,
-    via: Option<NodeId>,
-    /// Nodes visited, `src..=dst` (last only when `ejected`).
-    nodes: Vec<NodeId>,
-    /// `hops[i]` is the direction of the hop `nodes[i] -> nodes[i+1]`.
-    hops: Vec<Direction>,
-    /// `vcsets[i]` is the VC set granted on the link of `hops[i]`.
-    vcsets: Vec<VcSet>,
-    /// Whether the walk reached an ejection decision within the hop cap.
-    ejected: bool,
-}
-
-/// Walks one plan through the production `next_hop`, recording every
-/// link-level decision. Never panics: a walk that fails to eject within
-/// `4 * mesh.len()` hops is returned truncated with `ejected == false`.
-fn trace(
-    kind: RoutingKind,
-    layout: &VcLayout,
-    mesh: &Mesh,
-    src: NodeId,
-    dst: NodeId,
-    class: PacketClass,
-    plan: (Phase, Option<NodeId>),
-) -> RouteTrace {
-    let mut hdr = Packet::new(class, src, dst, 8, 0).header;
-    hdr.phase = plan.0;
-    hdr.via = plan.1;
-    let mut t = RouteTrace {
-        phase: plan.0,
-        via: plan.1,
-        nodes: vec![src],
-        hops: Vec::new(),
-        vcsets: Vec::new(),
-        ejected: false,
-    };
-    let mut node = src;
-    for _ in 0..4 * mesh.len() {
-        let dec = next_hop(kind, layout, mesh, node, &mut hdr);
-        match dec.out {
-            OutPort::Eject => {
-                t.ejected = true;
-                return t;
-            }
-            OutPort::Dir(d) => {
-                let Some(next) = mesh.neighbor(node, d) else {
-                    // Route points off the mesh edge; stop here and let
-                    // the minimality check report the broken walk.
-                    return t;
-                };
-                t.hops.push(d);
-                t.vcsets.push(dec.vcs);
-                node = next;
-                t.nodes.push(node);
-            }
-        }
-    }
-    t
-}
+use tenoc_noc::{Mesh, NetworkConfig, NodeId, PacketClass, Phase, RoutingKind};
 
 /// The independent routability specification for checkerboard meshes: a
 /// pair is unroutable exactly when both endpoints are full-routers, they

@@ -36,6 +36,8 @@
 
 pub mod cdg;
 pub mod checks;
+pub mod load;
+pub mod route;
 
 pub use cdg::{Cdg, Witness};
 pub use checks::expected_unroutable;

@@ -8,6 +8,9 @@
 //! enums with payloads — fails the build with an explicit message rather
 //! than generating wrong code.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 /// Derives `serde::Serialize` (value-tree construction).

@@ -3,27 +3,38 @@
 //! Runs the tenoc-verify channel-dependency-graph analysis over every
 //! named configuration in `tenoc_core::presets` (or one selected with
 //! `--preset`), printing a PASS/FAIL line per preset and the full report
-//! for failures. Exits nonzero if any preset has a violation, so the
-//! check can gate CI.
+//! for failures, or a machine-readable JSON report with `--json`.
+//!
+//! Exit codes are distinct so the check can gate CI and scripts can tell
+//! outcomes apart: **0** all verified presets pass, **1** at least one
+//! preset has a violation, **2** usage error (unknown flag or preset).
 //!
 //! ```text
-//! noc-verify [--all-presets] [--preset LABEL] [--k N] [--verbose]
+//! noc-verify [--all-presets] [--preset LABEL] [--k N] [--verbose] [--json]
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use serde::Serialize;
 use std::process::ExitCode;
 use tenoc_core::presets::Preset;
 use tenoc_core::system::IcntConfig;
 use tenoc_verify::{analyze, analyze_double, VerifyReport};
 
-const USAGE: &str = "usage: noc-verify [--all-presets] [--preset LABEL] [--k N] [--verbose]
+const USAGE: &str =
+    "usage: noc-verify [--all-presets] [--preset LABEL] [--k N] [--verbose] [--json]
   --all-presets   verify every named preset (default)
   --preset LABEL  verify only the preset with this label (e.g. CP-CR-4VC)
   --k N           mesh radix (default 6, the paper's scale)
-  --verbose       print full reports for passing presets too";
+  --verbose       print full reports for passing presets too
+  --json          emit one machine-readable JSON report on stdout
+exit codes: 0 all pass, 1 violation(s), 2 usage error";
 
 fn main() -> ExitCode {
     let mut k: usize = 6;
     let mut verbose = false;
+    let mut json = false;
     let mut preset_filter: Option<String> = None;
 
     let mut args = std::env::args().skip(1);
@@ -39,6 +50,7 @@ fn main() -> ExitCode {
                 _ => return usage_error("--k needs an integer radix >= 2"),
             },
             "--verbose" | "-v" => verbose = true,
+            "--json" => json = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return ExitCode::SUCCESS;
@@ -49,6 +61,7 @@ fn main() -> ExitCode {
 
     let mut matched = false;
     let mut any_violation = false;
+    let mut entries = Vec::new();
     for preset in Preset::NAMED {
         let label = preset.label();
         if let Some(ref want) = preset_filter {
@@ -57,7 +70,15 @@ fn main() -> ExitCode {
             }
         }
         matched = true;
-        match checked_report(preset, k) {
+        let report = checked_report(preset, k);
+        if let Some(ref r) = report {
+            any_violation |= !r.is_clean();
+        }
+        if json {
+            entries.push(json_entry(&label, report.as_ref()));
+            continue;
+        }
+        match report {
             None => println!("{label:<24} SKIP  (no routed fabric to verify)"),
             Some(report) if report.is_clean() => {
                 println!(
@@ -88,11 +109,51 @@ fn main() -> ExitCode {
         );
         return ExitCode::from(2);
     }
+    if json {
+        let top = serde::json::Value::Object(vec![
+            ("k".to_string(), (k as u64).to_value()),
+            ("ok".to_string(), (!any_violation).to_value()),
+            ("presets".to_string(), serde::json::Value::Array(entries)),
+        ]);
+        println!("{}", top.to_json_pretty());
+    }
     if any_violation {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS
     }
+}
+
+/// One preset's row of the `--json` report: status plus, for verified
+/// fabrics, the violation strings and the prover's work accounting.
+fn json_entry(label: &str, report: Option<&VerifyReport>) -> serde::json::Value {
+    use serde::json::Value;
+    let mut fields = vec![("preset".to_string(), label.to_value())];
+    match report {
+        None => fields.push(("status".to_string(), "skip".to_value())),
+        Some(r) => {
+            fields.push((
+                "status".to_string(),
+                if r.is_clean() { "pass" } else { "fail" }.to_value(),
+            ));
+            fields.push(("subject".to_string(), r.subject.to_value()));
+            fields.push((
+                "violations".to_string(),
+                Value::Array(r.violations().map(|f| f.to_string().to_value()).collect()),
+            ));
+            fields.push((
+                "stats".to_string(),
+                Value::Object(vec![
+                    ("pairs".to_string(), r.stats.pairs.to_value()),
+                    ("unroutable_pairs".to_string(), r.stats.unroutable_pairs.to_value()),
+                    ("plans_traced".to_string(), r.stats.plans_traced.to_value()),
+                    ("cdg_vertices".to_string(), r.stats.cdg_vertices.to_value()),
+                    ("cdg_edges".to_string(), r.stats.cdg_edges.to_value()),
+                ]),
+            ));
+        }
+    }
+    Value::Object(fields)
 }
 
 /// The verification report for one preset, or `None` for idealized

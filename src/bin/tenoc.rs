@@ -8,12 +8,16 @@
 //!             [--tiny] [--golden FILE --check|--bless]
 //! tenoc trace --preset thr-eff [--benchmark RD] [--scale F] [--out DIR]
 //!             [--flight-cap N] [--node N] [--class request|reply]
+//! tenoc audit [--k N] [--out FILE] [--json] [--golden FILE --check|--bless]
 //! tenoc openloop --preset cp-cr-2p [--hotspot] [--rates 0.01..0.12]
 //! tenoc engine-bench [--scale F] [--out FILE]
 //! tenoc area
 //! tenoc classify [--scale 0.12]
 //! tenoc list
 //! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -71,6 +75,8 @@ fn usage() -> ExitCode {
                      [--flight-cap N] [--node N] [--class request|reply]\n\
                      (telemetry artifacts: latency histograms, link heatmap,\n\
                       flight recorder -> trace.json + flight.jsonl)\n\
+           audit     [--k N] [--out FILE] [--json] [--golden FILE --check|--bless]\n\
+                     (static config-space audit: verify, bound, price, rank)\n\
            openloop  --preset <NAME> [--hotspot] [--rate F]\n\
            engine-bench [--scale F] [--out FILE] (simulator speed probe)\n\
            area      (Table VI summary)\n\
@@ -132,6 +138,7 @@ fn main() -> ExitCode {
             }
         }
         "sweep" => return cmd_sweep(&flags, scale),
+        "audit" => return cmd_audit(&flags),
         "trace" => return cmd_trace(&flags, scale),
         "engine-bench" => return cmd_engine_bench(&flags),
         "openloop" => {
@@ -380,6 +387,88 @@ fn cmd_engine_bench(flags: &HashMap<String, String>) -> ExitCode {
         wall_nanos as f64 / 1e9,
         perf.sim_cycles_per_sec
     );
+    ExitCode::SUCCESS
+}
+
+/// `tenoc audit`: statically verify, bound, price and rank the config
+/// space (every named preset plus known-illegal variants) without
+/// simulating a cycle, emitting deterministic JSON suitable for golden
+/// snapshotting.
+fn cmd_audit(flags: &HashMap<String, String>) -> ExitCode {
+    let k = flags.get("k").and_then(|v| v.parse::<usize>().ok()).unwrap_or(6);
+    if k < 2 {
+        eprintln!("audit: --k must be at least 2");
+        return ExitCode::FAILURE;
+    }
+    let report = tenoc::core::audit_grid(k);
+    let json = report.to_json();
+
+    if flags.contains_key("json") {
+        println!("{json}");
+    } else {
+        println!(
+            "{:>22} {:>8} {:>9} {:>10} {:>10}  bottleneck (many-to-few)",
+            "design", "legal", "score", "bound", "chip[mm2]"
+        );
+        for e in &report.entries {
+            let (score, bound, bneck) = match e.matrices.iter().find(|m| m.matrix == "many-to-few")
+            {
+                Some(m) => (
+                    format!("{:.4}", e.te_score),
+                    format!("{:.4}", m.accepted_bound),
+                    m.bottleneck.clone(),
+                ),
+                None if e.ideal => ("-".into(), "-".into(), "(ideal network)".into()),
+                None => ("-".into(), "-".into(), e.violations.join("; ")),
+            };
+            println!(
+                "{:>22} {:>8} {:>9} {:>10} {:>10.1}  {}",
+                e.name,
+                if e.legal { "yes" } else { "NO" },
+                score,
+                bound,
+                e.area_mm2,
+                bneck
+            );
+        }
+    }
+
+    if let Some(path) = flags.get("out") {
+        if let Err(e) = std::fs::write(path, &json) {
+            eprintln!("audit: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("audit: wrote {path}");
+    }
+
+    if let Some(golden_path) = flags.get("golden") {
+        if flags.contains_key("bless") {
+            if let Err(e) = std::fs::write(golden_path, &json) {
+                eprintln!("audit: cannot bless {golden_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("audit: blessed golden snapshot {golden_path}");
+        } else if flags.contains_key("check") {
+            let golden = match std::fs::read_to_string(golden_path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("audit: cannot read golden {golden_path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            if golden.trim() != json.trim() {
+                eprintln!(
+                    "audit: report differs from golden {golden_path}; \
+                     re-run with --bless to accept the new numbers"
+                );
+                return ExitCode::FAILURE;
+            }
+            eprintln!("audit: report matches the golden snapshot");
+        } else {
+            eprintln!("audit: --golden needs --check or --bless");
+            return ExitCode::FAILURE;
+        }
+    }
     ExitCode::SUCCESS
 }
 

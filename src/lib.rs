@@ -17,8 +17,15 @@
 //!   grids over a worker pool, JSON-lines [`harness::RunRecord`]s with
 //!   stable fingerprints, and golden-snapshot regression checks.
 //!
+//! * [`verify`] — the static analyzer: configuration legality proofs
+//!   (CDG acyclicity, reachability, VC isolation) and the load/latency
+//!   bound engine behind `tenoc audit`.
+//!
 //! See `README.md` for a quickstart and `EXPERIMENTS.md` for the
 //! paper-vs-measured record of every figure and table.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub use tenoc_cache as cache;
 pub use tenoc_core as core;
@@ -26,4 +33,5 @@ pub use tenoc_dram as dram;
 pub use tenoc_harness as harness;
 pub use tenoc_noc as noc;
 pub use tenoc_simt as simt;
+pub use tenoc_verify as verify;
 pub use tenoc_workloads as workloads;

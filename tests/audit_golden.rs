@@ -1,0 +1,49 @@
+//! Tier-1 golden-snapshot regression test for the static config-space
+//! audit: `tenoc audit` is pure arithmetic over the routing function and
+//! the area model, so its JSON report must be byte-stable.
+//!
+//! When an intentional change moves the numbers, refresh the snapshot
+//! with `cargo run --release --bin tenoc -- audit --golden
+//! tests/golden/audit.json --bless` and review the diff like any other
+//! code change.
+
+use tenoc::core::audit_grid;
+
+fn golden_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/audit.json")
+}
+
+#[test]
+fn audit_report_matches_checked_in_snapshot() {
+    let golden = std::fs::read_to_string(golden_path()).expect("golden snapshot present");
+    let current = audit_grid(6).to_json();
+    assert!(
+        golden.trim() == current.trim(),
+        "audit report drifted from tests/golden/audit.json; if intended, re-bless with \
+         `cargo run --release --bin tenoc -- audit --golden tests/golden/audit.json --bless`"
+    );
+}
+
+#[test]
+fn audit_ranks_legal_physical_designs_first() {
+    let report = audit_grid(6);
+    let ranked: Vec<&str> = report.ranked().map(|e| e.name.as_str()).collect();
+    assert!(!ranked.is_empty());
+    // The paper's headline ordering: the throughput-effective family
+    // (channel-sliced checkerboard with multi-port MCs) beats every
+    // baseline-mesh variant per mm².
+    let score_of =
+        |name: &str| report.entries.iter().find(|e| e.name == name).map(|e| e.te_score).unwrap();
+    assert!(score_of("CP-CR-2P(single)") > score_of("CP-CR-4VC"));
+    assert!(score_of("CP-CR-4VC") > score_of("CP-DOR-2VC"));
+    assert!(score_of("CP-DOR-2VC") > score_of("TB-DOR"));
+    assert!(score_of("TB-DOR") > score_of("2x-TB-DOR"));
+    // Illegal variants are rejected with witnesses, never ranked.
+    for e in &report.entries {
+        if !e.legal {
+            assert!(!e.violations.is_empty(), "{}: illegal without witness", e.name);
+            assert!(e.matrices.is_empty(), "{}: illegal config was load-analyzed", e.name);
+        }
+    }
+    assert!(report.entries.iter().filter(|e| !e.legal).count() >= 2);
+}

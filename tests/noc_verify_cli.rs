@@ -1,0 +1,73 @@
+//! End-to-end test of the `noc-verify` CLI contract (ISSUE 6 satellite):
+//! exit code 0 with parseable `--json` output when every preset passes,
+//! exit code 2 on usage errors, and PASS lines in the human format.
+//!
+//! (Exit code 1 — a real violation — is covered at the library level by
+//! `tenoc-core`'s preset conformance tests plus the illegal-variant
+//! entries of the audit golden; the shipped presets are all legal, so the
+//! binary has no violating input to run here.)
+
+use serde::json::Value;
+use std::process::Command;
+
+fn noc_verify() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_noc-verify"))
+}
+
+#[test]
+fn json_mode_reports_all_presets_passing_with_exit_zero() {
+    let out = noc_verify().args(["--json", "--k", "4"]).output().expect("binary runs");
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).expect("utf-8 stdout");
+    let v = serde::json::parse(&text).expect("stdout is valid JSON");
+    assert_eq!(v.field("ok").unwrap(), &Value::Bool(true));
+    assert_eq!(v.field("k").unwrap().as_u64().unwrap(), 4);
+    let rows = v.field("presets").unwrap().as_array().unwrap();
+    assert!(!rows.is_empty());
+    let mut passes = 0;
+    for row in rows {
+        match row.field("status").unwrap().as_str().unwrap() {
+            "pass" => {
+                passes += 1;
+                assert!(row.field("violations").unwrap().as_array().unwrap().is_empty());
+                assert!(row.field("stats").unwrap().field("pairs").unwrap().as_u64().unwrap() > 0);
+            }
+            "skip" => {}
+            other => panic!("unexpected status {other:?} for {:?}", row.field("preset")),
+        }
+    }
+    assert!(passes > 0, "at least one preset must actually be verified");
+}
+
+#[test]
+fn single_preset_filter_works_in_json_mode() {
+    let out = noc_verify().args(["--json", "--preset", "CP-CR-4VC"]).output().expect("binary runs");
+    assert_eq!(out.status.code(), Some(0));
+    let text = String::from_utf8(out.stdout).unwrap();
+    let v = serde::json::parse(&text).unwrap();
+    let rows = v.field("presets").unwrap().as_array().unwrap();
+    assert_eq!(rows.len(), 1);
+    assert_eq!(rows[0].field("preset").unwrap().as_str().unwrap(), "CP-CR-4VC");
+}
+
+#[test]
+fn usage_errors_exit_with_code_two() {
+    for bad in [&["--bogus"][..], &["--preset"], &["--k", "1"], &["--preset", "no-such"]] {
+        let out = noc_verify().args(bad).output().expect("binary runs");
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "args {bad:?} must be a usage error; stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+}
+
+#[test]
+fn human_mode_prints_pass_lines_and_exits_zero() {
+    let out = noc_verify().args(["--k", "4"]).output().expect("binary runs");
+    assert_eq!(out.status.code(), Some(0));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.lines().any(|l| l.contains("PASS")), "no PASS line in:\n{text}");
+    assert!(!text.contains("FAIL"));
+}

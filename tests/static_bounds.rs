@@ -1,0 +1,119 @@
+//! Tier-1 acceptance tests for the static load analyzer (ISSUE 6): for
+//! every shipped physical preset the static saturation-throughput bound
+//! must dominate the open-loop measured accepted throughput, and on the
+//! throughput-effective design point the statically predicted hottest
+//! channel must be the telemetry heatmap's hottest link.
+//!
+//! The runs here use short pinned windows so the whole file stays cheap
+//! in debug builds; `tenoc_harness::xval` documents why the throughput
+//! comparison filters to rate points where the fabric keeps up with the
+//! offered matrix (past saturation the delivered mix drifts away from
+//! the matrix the bound is about).
+
+use tenoc::core::presets::Preset;
+use tenoc::harness::{cross_validate, XvalConfig};
+use tenoc::verify::load::{analyze_load, TrafficMatrix};
+
+/// Short-window sweep (this file also runs in debug builds): two
+/// below-saturation points and one past it, enough to exercise both
+/// sides of the keep-up filter everywhere.
+fn quick_cfg() -> XvalConfig {
+    XvalConfig {
+        rates: vec![0.05, 0.12, 0.3],
+        warmup: 800,
+        measure: 3_000,
+        drain: 5_000,
+        ..XvalConfig::default()
+    }
+}
+
+/// The distinct unsliced physical fabrics behind the named presets.
+fn physical_nets() -> Vec<(String, tenoc::noc::NetworkConfig)> {
+    let mut out: Vec<(String, tenoc::noc::NetworkConfig)> = Vec::new();
+    for p in Preset::NAMED {
+        let icnt = p.icnt(6);
+        if matches!(
+            icnt,
+            tenoc::core::system::IcntConfig::Perfect(_)
+                | tenoc::core::system::IcntConfig::BwLimited(_, _)
+        ) {
+            continue;
+        }
+        let net = icnt.net().clone();
+        if out.iter().any(|(_, n)| *n == net) {
+            continue;
+        }
+        out.push((p.label(), net));
+    }
+    out
+}
+
+#[test]
+fn static_bound_and_latency_floor_hold_on_every_preset() {
+    // One cross-validation per distinct fabric covers both acceptance
+    // assertions (the sweep is the expensive part, so don't repeat it).
+    let cfg = quick_cfg();
+    let mut failures = Vec::new();
+    for (label, net) in physical_nets() {
+        let r = cross_validate(&label, &net, &cfg);
+        if !r.points.iter().any(|p| p.keeping_up) {
+            failures
+                .push(format!("{label}: no rate point kept up; sweep cannot witness the bound"));
+        }
+        if !r.bound_sound {
+            failures.push(format!(
+                "{label}: sustained {:.4} exceeds static bound {:.4}",
+                r.max_sustained, r.accepted_bound
+            ));
+        }
+        if !r.latency_floor {
+            failures.push(format!(
+                "{label}: static zero-load latency (req {:.2} / rep {:.2}) exceeds \
+                 measured low-rate means (req {:.2} / rep {:.2})",
+                r.static_request_latency,
+                r.static_reply_latency,
+                r.measured_request_latency,
+                r.measured_reply_latency
+            ));
+        }
+    }
+    assert!(failures.is_empty(), "cross-validation failures:\n  {}", failures.join("\n  "));
+}
+
+#[test]
+fn predicted_hottest_channel_matches_telemetry_on_thr_eff() {
+    // The thr-eff preset is a double network; the open-loop harness
+    // drives its unsliced physical fabric, so the static side analyzes
+    // the same single network (as everywhere in the xval module).
+    let icnt = Preset::ThroughputEffective.icnt(6);
+    let net = icnt.net().clone();
+    let r = cross_validate("Thr-Eff", &net, &quick_cfg());
+    assert!(
+        r.hottest_match,
+        "observed hottest link {} not among statically predicted {:?}",
+        r.observed_hottest, r.predicted_hottest
+    );
+}
+
+#[test]
+fn uniform_and_transpose_matrices_are_analyzable_on_every_preset() {
+    // The synthetic matrices must produce finite, positive bounds on
+    // every legal fabric (checkerboard meshes may skip odd-parity pairs,
+    // which the report discloses instead of mispricing).
+    for (label, net) in physical_nets() {
+        for m in [TrafficMatrix::Uniform, TrafficMatrix::Transpose] {
+            let rep = analyze_load(&net, m);
+            assert!(
+                rep.saturation_rate > 0.0 && rep.saturation_rate.is_finite(),
+                "{label}/{}: degenerate saturation rate {}",
+                m.label(),
+                rep.saturation_rate
+            );
+            assert!(
+                rep.demands_total > rep.demands_unroutable,
+                "{label}/{}: no routable demand",
+                m.label()
+            );
+        }
+    }
+}
