@@ -1,0 +1,49 @@
+//! Criterion benchmark of the batched sweep kernel: `run_lockstep`
+//! across batch widths B ∈ {1, 2, 4, 8, 16} on the fig. 20 combined
+//! design point. Each sample builds B seed-varied RD probes and runs
+//! them to completion in lockstep on the arena engine; the simulated
+//! cycle total per width is printed once so wall times convert to
+//! aggregate simulated-cycles-per-second (flat per-cycle cost as B
+//! grows is the win the batching is after). Tracks simulator
+//! performance, not paper data; `BENCH_engine.json` (from
+//! `tenoc engine-bench --batch N`) records the headline figure.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tenoc_core::presets::Preset;
+use tenoc_core::run_lockstep;
+use tenoc_core::system::{EngineKind, System, SystemConfig};
+use tenoc_harness::cell_seed;
+use tenoc_workloads::by_name;
+
+fn cells(b: usize, scale: f64) -> Vec<System> {
+    let spec = by_name("RD").unwrap().scaled(scale);
+    (0..b)
+        .map(|i| {
+            let mut cfg = SystemConfig::with_icnt(Preset::ThroughputEffective.icnt(6));
+            cfg.seed = cell_seed(0x7e0c, i as u64);
+            cfg.engine = EngineKind::Arena;
+            System::new(cfg, &spec)
+        })
+        .collect()
+}
+
+fn bench_batch_widths(c: &mut Criterion) {
+    let scale = 0.02;
+    for b in [1usize, 2, 4, 8, 16] {
+        // Deterministic per width: measure the simulated-cycle total once
+        // so a wall time divides out to aggregate sim cycles/s.
+        let mut probe = cells(b, scale);
+        let total: u64 = run_lockstep(&mut probe).iter().map(|m| m.icnt_cycles).sum();
+        eprintln!("batch_perf: B={b} simulates {total} icnt cycles per sample");
+        let id = format!("lockstep_rd_b{b}");
+        c.bench_function(&id, |bench| {
+            bench.iter(|| {
+                let mut systems = cells(b, scale);
+                run_lockstep(&mut systems)
+            });
+        });
+    }
+}
+
+criterion_group!(batch, bench_batch_widths);
+criterion_main!(batch);

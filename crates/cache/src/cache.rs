@@ -173,6 +173,15 @@ pub struct Cache {
     sets: Vec<Vec<Line>>,
     tick: u64,
     stats: CacheStats,
+    /// `log2(line_bytes)` (line size is validated to be a power of two):
+    /// the address decode runs on every probe of every L1 and L2, so the
+    /// runtime divisions are precomputed into shifts.
+    line_shift: u32,
+    /// Set count, cached off the config.
+    sets_count: u64,
+    /// `log2(sets_count)` when the set count is a power of two (the
+    /// common case), else `None` and the decode falls back to division.
+    set_shift: Option<u32>,
 }
 
 impl Cache {
@@ -184,10 +193,14 @@ impl Cache {
     pub fn new(cfg: CacheConfig) -> Self {
         cfg.validate().expect("invalid cache configuration");
         let empty = Line { tag: 0, valid: false, dirty: false, last_use: 0, filled_at: 0 };
+        let sets_count = cfg.sets() as u64;
         Cache {
             sets: vec![vec![empty; cfg.assoc]; cfg.sets()],
             tick: 0,
             stats: CacheStats::default(),
+            line_shift: cfg.line_bytes.trailing_zeros(),
+            sets_count,
+            set_shift: sets_count.is_power_of_two().then(|| sets_count.trailing_zeros()),
             cfg,
         }
     }
@@ -203,9 +216,11 @@ impl Cache {
     }
 
     fn set_and_tag(&self, addr: u64) -> (usize, u64) {
-        let line = addr / self.cfg.line_bytes;
-        let sets = self.cfg.sets() as u64;
-        ((line % sets) as usize, line / sets)
+        let line = addr >> self.line_shift;
+        match self.set_shift {
+            Some(s) => ((line & (self.sets_count - 1)) as usize, line >> s),
+            None => ((line % self.sets_count) as usize, line / self.sets_count),
+        }
     }
 
     /// Probes the cache. Hits update LRU state and (for write-back writes)
@@ -255,7 +270,7 @@ impl Cache {
             return None;
         }
         let tick = self.tick;
-        let sets_count = self.cfg.sets() as u64;
+        let sets_count = self.sets_count;
         let line_bytes = self.cfg.line_bytes;
         let policy = self.cfg.replacement;
         let way = self.sets[set].iter().position(|l| !l.valid).unwrap_or_else(|| match policy {

@@ -1,6 +1,46 @@
 //! Miss status holding registers (MSHRs) with same-line merging.
 
 use std::collections::HashMap;
+use std::hash::{BuildHasher, Hasher};
+
+/// Multiplicative hasher for line-address keys. MSHR lookups sit on the
+/// per-instruction resource-check path of every core (and the L2 miss
+/// path of every MC), so the default SipHash is replaced by one
+/// Fibonacci multiply — sufficient for line addresses, whose entropy
+/// lives in the low/middle bits, and an order of magnitude cheaper.
+/// Table iteration order is never observed (the table has no iterator
+/// API), so the hasher cannot affect simulation results.
+#[derive(Clone, Debug, Default)]
+struct LineHasher(u64);
+
+impl Hasher for LineHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Generic fallback (unused for u64 keys, kept total for safety).
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        }
+    }
+
+    fn write_u64(&mut self, x: u64) {
+        self.0 = x.wrapping_mul(0x9e37_79b9_7f4a_7c15).rotate_right(29);
+    }
+}
+
+/// [`BuildHasher`] for [`LineHasher`].
+#[derive(Clone, Debug, Default)]
+struct BuildLineHasher;
+
+impl BuildHasher for BuildLineHasher {
+    type Hasher = LineHasher;
+
+    fn build_hasher(&self) -> LineHasher {
+        LineHasher(0)
+    }
+}
 
 /// Outcome of presenting a miss to the MSHR table.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -24,7 +64,10 @@ pub enum MshrOutcome {
 pub struct MshrTable {
     capacity: usize,
     max_targets: usize,
-    entries: HashMap<u64, Vec<u64>>,
+    entries: HashMap<u64, Vec<u64>, BuildLineHasher>,
+    /// Retired target lists kept for reuse (bounded by `capacity`), so
+    /// the allocate/complete cycle is allocation-free at steady state.
+    pool: Vec<Vec<u64>>,
 }
 
 impl MshrTable {
@@ -36,7 +79,12 @@ impl MshrTable {
     /// Panics if either limit is zero.
     pub fn new(capacity: usize, max_targets: usize) -> Self {
         assert!(capacity > 0 && max_targets > 0);
-        MshrTable { capacity, max_targets, entries: HashMap::with_capacity(capacity) }
+        MshrTable {
+            capacity,
+            max_targets,
+            entries: HashMap::with_capacity_and_hasher(capacity, BuildLineHasher),
+            pool: Vec::with_capacity(capacity),
+        }
     }
 
     /// Entries in use.
@@ -71,21 +119,48 @@ impl MshrTable {
         if self.entries.len() >= self.capacity {
             return MshrOutcome::Full;
         }
-        self.entries.insert(line_addr, vec![target]);
+        let mut targets = self.pool.pop().unwrap_or_default();
+        targets.push(target);
+        self.entries.insert(line_addr, targets);
         MshrOutcome::Allocated
     }
 
     /// Completes the fetch for `line_addr`, releasing the entry and
-    /// returning the merged targets (in arrival order).
+    /// leaving the merged targets (in arrival order) in `out` — which is
+    /// cleared first. The entry's storage is recycled, so the hot
+    /// fill path never allocates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no entry exists — a completion without an allocation is a
+    /// simulator bug.
+    pub fn complete_into(&mut self, line_addr: u64, out: &mut Vec<u64>) {
+        let mut targets = self
+            .entries
+            .remove(&line_addr)
+            .unwrap_or_else(|| panic!("MSHR completion for unallocated line {line_addr:#x}"));
+        out.clear();
+        std::mem::swap(out, &mut targets);
+        // `targets` now holds the caller's cleared buffer; keep whichever
+        // capacity is worth pooling.
+        if self.pool.len() < self.capacity {
+            targets.clear();
+            self.pool.push(targets);
+        }
+    }
+
+    /// Completes the fetch for `line_addr`, releasing the entry and
+    /// returning the merged targets (in arrival order). Convenience
+    /// wrapper over [`MshrTable::complete_into`].
     ///
     /// # Panics
     ///
     /// Panics if no entry exists — a completion without an allocation is a
     /// simulator bug.
     pub fn complete(&mut self, line_addr: u64) -> Vec<u64> {
-        self.entries
-            .remove(&line_addr)
-            .unwrap_or_else(|| panic!("MSHR completion for unallocated line {line_addr:#x}"))
+        let mut out = Vec::new();
+        self.complete_into(line_addr, &mut out);
+        out
     }
 }
 
@@ -130,5 +205,20 @@ mod tests {
     fn complete_without_allocate_panics() {
         let mut m = MshrTable::new(4, 4);
         m.complete(0xdead);
+    }
+
+    #[test]
+    fn complete_into_reuses_caller_buffer_and_recycles_storage() {
+        let mut m = MshrTable::new(4, 8);
+        let mut buf = vec![0xff; 8]; // stale contents must be cleared
+        m.allocate(0x100, 1);
+        m.allocate(0x100, 2);
+        m.complete_into(0x100, &mut buf);
+        assert_eq!(buf, vec![1, 2]);
+        // A second allocate/complete round trip reuses pooled storage and
+        // still reports targets in arrival order.
+        m.allocate(0x200, 9);
+        m.complete_into(0x200, &mut buf);
+        assert_eq!(buf, vec![9]);
     }
 }

@@ -1,0 +1,196 @@
+//! Lockstep execution of many same-shape systems (the batched sweep
+//! kernel's system-level driver).
+//!
+//! [`run_lockstep`] advances B systems through one shared clock schedule
+//! in *rounds*: each running cell takes a bounded quantum of clock edges,
+//! then the batch rotates, keeping every cell within one round of its
+//! peers while a cell's slabs, cores and MC queues stay cache-resident
+//! for its whole turn.
+//!
+//! Per-cell equivalence to [`System::run`] is structural: systems share no
+//! state (each owns its cores, MCs, network, RNG streams and clocks), so
+//! each cell executes exactly its solo operation sequence regardless of
+//! how turns interleave, and the drain check fires at the same
+//! 512-core-edge cadence as the solo loop (counters persist across
+//! rounds). A finished system freezes at exactly the edge its solo run
+//! would have finished on; the rest keep stepping. Determinism therefore
+//! survives batching at any width.
+
+use crate::clock::Domain;
+use crate::metrics::RunMetrics;
+use crate::system::System;
+
+/// Runs every system to completion in lockstep, returning each system's
+/// metrics in input order — bit-identical to calling [`System::run`] on
+/// each system alone.
+///
+/// # Panics
+///
+/// Panics (debug builds) if the systems' clock configurations diverge:
+/// lockstep requires one shared edge schedule.
+pub fn run_lockstep(systems: &mut [System]) -> Vec<RunMetrics> {
+    // Clock edges a cell advances before the batch rotates to the next
+    // cell. The quantum trades skew for locality: within a round a cell's
+    // slabs, cores and MC queues stay cache-resident, and one round is
+    // long enough to amortize reloading them. Any quantum gives the same
+    // results — cells share no state — so this is a scheduling choice,
+    // not a semantic one.
+    const ROUND_EDGES: u32 = 65536;
+    let n = systems.len();
+    let mut results: Vec<Option<RunMetrics>> = (0..n).map(|_| None).collect();
+    let mut running: Vec<usize> = (0..n).collect();
+    // Per-cell core-edge counters for the drain check; these persist
+    // across rounds so every cell sees the solo loop's exact cadence.
+    let mut checks: Vec<u32> = vec![0; n];
+    while !running.is_empty() {
+        running.retain(|&i| {
+            let sys = &mut systems[i];
+            for _ in 0..ROUND_EDGES {
+                let domain = sys.clock_tick();
+                if domain == Domain::Icnt {
+                    sys.icnt_exchange();
+                    for p in 0..sys.icnt_phase_count() {
+                        sys.icnt_tick_phase(p);
+                    }
+                } else {
+                    sys.tick_domain(domain);
+                }
+                if domain == Domain::Core {
+                    checks[i] += 1;
+                    if checks[i] >= 512 {
+                        checks[i] = 0;
+                        if sys.all_done() {
+                            results[i] = Some(sys.metrics(true));
+                            return false;
+                        }
+                        if sys.core_cycles() > sys.max_core_cycles() {
+                            results[i] = Some(sys.metrics(false));
+                            return false;
+                        }
+                    }
+                }
+            }
+            true
+        });
+    }
+    results.into_iter().map(|r| r.expect("every system reached a verdict")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets::Preset;
+    use crate::system::{IcntConfig, SystemConfig};
+    use tenoc_noc::NetworkConfig;
+    use tenoc_simt::KernelSpec;
+
+    fn spec(mem: f64) -> KernelSpec {
+        KernelSpec::builder("b")
+            .warps_per_core(4)
+            .insts_per_warp(60)
+            .mem_fraction(mem)
+            .stream_fraction(0.6)
+            .build()
+    }
+
+    fn sys(engine: crate::system::EngineKind, seed: u64) -> System {
+        let mut cfg = SystemConfig::with_icnt(IcntConfig::Mesh(NetworkConfig::baseline_mesh(6)));
+        cfg.seed = seed;
+        cfg.engine = engine;
+        System::new(cfg, &spec(0.3))
+    }
+
+    /// Per-domain wall-time breakdown of the thr-eff/RD probe on both
+    /// engines. A diagnostic, not a check: run with
+    /// `cargo test --release -p tenoc-core profile_domains -- --ignored --nocapture`.
+    #[test]
+    #[ignore]
+    fn profile_domains() {
+        use crate::system::EngineKind;
+        use std::time::Instant;
+        let scale = 0.2;
+        let spec0 = tenoc_workloads::by_name("RD").unwrap().scaled(scale);
+        for engine in [EngineKind::PerCell, EngineKind::Arena] {
+            let mut cfg = SystemConfig::with_icnt(Preset::ThroughputEffective.icnt(6));
+            cfg.engine = engine;
+            let mut sys = System::new(cfg, &spec0);
+            let mut t_exchange = 0u128;
+            let mut t_phase = [0u128; 8];
+            let mut t_core = 0u128;
+            let mut t_other = 0u128;
+            let mut icnt_edges = 0u64;
+            let mut check = 0u32;
+            loop {
+                let domain = sys.clock_tick();
+                if domain == Domain::Icnt {
+                    icnt_edges += 1;
+                    let t0 = Instant::now();
+                    sys.icnt_exchange();
+                    t_exchange += t0.elapsed().as_nanos();
+                    for p in 0..sys.icnt_phase_count() {
+                        let t0 = Instant::now();
+                        sys.icnt_tick_phase(p);
+                        t_phase[p.min(7)] += t0.elapsed().as_nanos();
+                    }
+                } else if domain == Domain::Core {
+                    let t0 = Instant::now();
+                    sys.tick_domain(domain);
+                    t_core += t0.elapsed().as_nanos();
+                    check += 1;
+                    if check >= 512 {
+                        check = 0;
+                        if sys.all_done() || sys.core_cycles() > sys.max_core_cycles() {
+                            break;
+                        }
+                    }
+                } else {
+                    let t0 = Instant::now();
+                    sys.tick_domain(domain);
+                    t_other += t0.elapsed().as_nanos();
+                }
+            }
+            println!("=== engine {engine:?}: {icnt_edges} icnt edges");
+            println!("  exchange {:>8.1} ms", t_exchange as f64 / 1e6);
+            for (p, t) in t_phase.iter().enumerate() {
+                if *t > 0 {
+                    println!("  phase[{p}] {:>8.1} ms", *t as f64 / 1e6);
+                }
+            }
+            println!("  core     {:>8.1} ms", t_core as f64 / 1e6);
+            println!("  other    {:>8.1} ms", t_other as f64 / 1e6);
+        }
+    }
+
+    #[test]
+    fn lockstep_matches_solo_runs_per_cell() {
+        use crate::system::EngineKind;
+        let solo: Vec<RunMetrics> = (0..3).map(|s| sys(EngineKind::Arena, 100 + s).run()).collect();
+        let mut batch: Vec<System> = (0..3).map(|s| sys(EngineKind::Arena, 100 + s)).collect();
+        let got = run_lockstep(&mut batch);
+        for (a, b) in solo.iter().zip(&got) {
+            assert_eq!(a, b, "batched cell diverged from its solo run");
+        }
+    }
+
+    #[test]
+    fn arena_engine_matches_oracle_engine() {
+        use crate::system::EngineKind;
+        let a = sys(EngineKind::PerCell, 7).run();
+        let b = sys(EngineKind::Arena, 7).run();
+        assert_eq!(a, b, "arena engine must be bit-identical to the oracle");
+    }
+
+    #[test]
+    fn arena_matches_oracle_on_paper_preset() {
+        use crate::system::EngineKind;
+        let mk = |engine| {
+            let mut cfg = SystemConfig::with_icnt(Preset::ThroughputEffective.icnt(6));
+            cfg.engine = engine;
+            cfg.max_core_cycles = 400_000;
+            System::new(cfg, &spec(0.3))
+        };
+        let a = mk(EngineKind::PerCell).run();
+        let b = mk(EngineKind::Arena).run();
+        assert_eq!(a, b, "arena engine must match the oracle on the double-network preset");
+    }
+}

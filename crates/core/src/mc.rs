@@ -95,6 +95,8 @@ pub struct McNode {
     /// Hit replies waiting out the bank latency: `(ready_at, reply)`.
     hit_delay: VecDeque<(u64, Reply)>,
     reply_q: VecDeque<Reply>,
+    /// Scratch for MSHR completions (reused across fills).
+    fill_targets: Vec<u64>,
     /// Write-backs and write misses waiting for DRAM queue space.
     pending_writes: VecDeque<u64>,
     stats: McStats,
@@ -119,6 +121,7 @@ impl McNode {
             in_q: VecDeque::new(),
             hit_delay: VecDeque::new(),
             reply_q: VecDeque::new(),
+            fill_targets: Vec::new(),
             pending_writes: VecDeque::new(),
             stats: McStats::default(),
             n_mcs,
@@ -232,9 +235,12 @@ impl McNode {
                 continue;
             }
             let line_addr = request.tag;
-            for target in self.mshrs.complete(line_addr) {
+            let mut targets = std::mem::take(&mut self.fill_targets);
+            self.mshrs.complete_into(line_addr, &mut targets);
+            for &target in &targets {
                 self.reply_q.push_back(Reply { dst: target as NodeId, tag: line_addr });
             }
+            self.fill_targets = targets;
             if let Some(ev) = self.l2.fill(line_addr) {
                 if ev.dirty {
                     self.pending_writes.push_back(ev.line_addr);

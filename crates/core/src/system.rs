@@ -5,8 +5,8 @@ use crate::clock::{ClockConfig, Clocks, Domain};
 use crate::mc::{McConfig, McNode, McRequest};
 use crate::metrics::RunMetrics;
 use tenoc_noc::{
-    BandwidthLimitedInterconnect, DoubleNetwork, Interconnect, Network, NetworkConfig, NodeId,
-    Packet, PerfectInterconnect, Tick,
+    ArenaDoubleNetwork, ArenaNetwork, BandwidthLimitedInterconnect, DoubleNetwork, Interconnect,
+    Network, NetworkConfig, NodeId, Packet, PerfectInterconnect, Tick,
 };
 use tenoc_simt::{CoreConfig, KernelSpec, MemRequest, ShaderCore};
 
@@ -47,15 +47,30 @@ impl IcntConfig {
         }
     }
 
-    fn build(&self) -> Box<dyn Interconnect> {
+    fn build(&self, engine: EngineKind) -> Box<dyn Interconnect> {
         // Debug builds statically verify every network configuration they
         // are about to simulate: the auditor runs tenoc-verify's channel-
         // dependency-graph analysis inside `Network::new` and panics with
         // the report on any violation. Release builds skip the check.
         tenoc_verify::install_debug_auditor();
         match self {
-            IcntConfig::Mesh(c) => Box::new(Network::new(c.clone())),
-            IcntConfig::Double(c) => Box::new(DoubleNetwork::from_single(c)),
+            IcntConfig::Mesh(c) => {
+                if engine == EngineKind::Arena && ArenaNetwork::supports(c) {
+                    Box::new(ArenaNetwork::new(c.clone()))
+                } else {
+                    Box::new(Network::new(c.clone()))
+                }
+            }
+            IcntConfig::Double(c) => {
+                let arena_ok = engine == EngineKind::Arena
+                    && c.channel_bytes.is_multiple_of(2)
+                    && ArenaNetwork::supports(&c.slice());
+                if arena_ok {
+                    Box::new(ArenaDoubleNetwork::from_single(c))
+                } else {
+                    Box::new(DoubleNetwork::from_single(c))
+                }
+            }
             IcntConfig::Perfect(c) => {
                 Box::new(PerfectInterconnect::new(c.mesh.len(), c.channel_bytes))
             }
@@ -64,6 +79,21 @@ impl IcntConfig {
             }
         }
     }
+}
+
+/// Which network execution engine a system simulates with. Both engines
+/// produce bit-identical results (the arena is equivalence-tested against
+/// the per-cell oracle); they differ only in memory layout and speed.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub enum EngineKind {
+    /// The per-router oracle kernel ([`Network`] / [`DoubleNetwork`]).
+    /// Required for telemetry, and the reference for equivalence tests.
+    #[default]
+    PerCell,
+    /// The flat structure-of-arrays kernel ([`ArenaNetwork`] /
+    /// [`ArenaDoubleNetwork`]); supports phase-interleaved batching.
+    /// Falls back to the oracle for shapes the arena cannot pack.
+    Arena,
 }
 
 /// Full system configuration.
@@ -88,6 +118,8 @@ pub struct SystemConfig {
     pub seed: u64,
     /// Safety limit on core cycles.
     pub max_core_cycles: u64,
+    /// Network execution engine (identical results either way).
+    pub engine: EngineKind,
 }
 
 impl SystemConfig {
@@ -103,6 +135,7 @@ impl SystemConfig {
             cores_per_node: 1,
             seed: 0x7e0c,
             max_core_cycles: 50_000_000,
+            engine: EngineKind::PerCell,
         }
     }
 }
@@ -113,6 +146,9 @@ pub struct System {
     icnt: Box<dyn Interconnect>,
     cores: Vec<ShaderCore>,
     core_nodes: Vec<NodeId>,
+    /// `core_nodes` deduplicated (one entry per compute-node terminal),
+    /// precomputed so the reply-draining loop needs no per-tick set.
+    unique_core_nodes: Vec<NodeId>,
     mc_nodes: Vec<NodeId>,
     mcs: Vec<McNode>,
     clocks: Clocks,
@@ -163,11 +199,12 @@ impl System {
             .map(|_| McNode::new(cfg.mc.clone(), mc_nodes.len(), cfg.chunk))
             .collect();
         System {
-            icnt: cfg.icnt.build(),
+            icnt: cfg.icnt.build(cfg.engine),
             staged: vec![None; core_nodes.len()],
             staged_mc: vec![None; mc_nodes.len()],
             cores,
             core_nodes,
+            unique_core_nodes: node_list,
             mc_nodes,
             mcs,
             clocks: Clocks::new(cfg.clocks),
@@ -184,7 +221,7 @@ impl System {
         ((addr / self.cfg.chunk) % self.mc_nodes.len() as u64) as usize
     }
 
-    fn all_done(&self) -> bool {
+    pub(crate) fn all_done(&self) -> bool {
         self.cores
             .iter()
             .all(|c| c.done() && c.pending_requests() == 0 && c.outstanding_fetches() == 0)
@@ -198,7 +235,7 @@ impl System {
     /// bodies and the interconnect's own [`Tick`] all hang off this single
     /// dispatch point, so every clocked component in the system moves
     /// through the same trait.
-    fn tick_domain(&mut self, domain: Domain) {
+    pub(crate) fn tick_domain(&mut self, domain: Domain) {
         match domain {
             Domain::Core => self.step_core_domain(),
             Domain::Icnt => self.step_icnt_domain(),
@@ -214,15 +251,22 @@ impl System {
     }
 
     fn step_icnt_domain(&mut self) {
+        self.icnt_exchange();
+        self.icnt.tick();
+    }
+
+    /// The terminal-side half of an interconnect cycle: drain replies to
+    /// cores, inject core requests, and run the MC side (eject requests,
+    /// service L2, inject replies). The network's own [`Tick`] follows —
+    /// either directly ([`System::step_icnt_domain`]) or phase-interleaved
+    /// across many systems (the lockstep batch runner).
+    pub(crate) fn icnt_exchange(&mut self) {
         let now = self.clocks.cycles(Domain::Icnt) - 1;
         let dram_now = self.clocks.cycles(Domain::Dram);
         // Replies to cores. With concentration > 1 several cores share a
         // terminal, so the destination core is read from the tag.
-        let mut seen_nodes = std::collections::HashSet::new();
-        for &node in self.core_nodes.iter() {
-            if !seen_nodes.insert(node) {
-                continue;
-            }
+        for i in 0..self.unique_core_nodes.len() {
+            let node = self.unique_core_nodes[i];
             while let Some(p) = self.icnt.pop(node) {
                 debug_assert_eq!(p.header.tag & WRITE_BIT, 0, "cores only receive read replies");
                 let core = ((p.header.tag >> CORE_SHIFT) & 0x7fff) as usize;
@@ -298,7 +342,34 @@ impl System {
                 self.mcs[m].note_inject_stall();
             }
         }
-        self.icnt.tick();
+    }
+
+    /// Advances the system's clock by one edge and reports which domain it
+    /// fell in (the batch runner drives lockstep systems through this).
+    pub(crate) fn clock_tick(&mut self) -> Domain {
+        self.clocks.tick()
+    }
+
+    /// Phase count of the interconnect's cycle (see
+    /// [`Interconnect::phase_count`]).
+    pub(crate) fn icnt_phase_count(&self) -> usize {
+        self.icnt.phase_count()
+    }
+
+    /// One sub-phase of the interconnect's cycle (see
+    /// [`Interconnect::tick_phase`]).
+    pub(crate) fn icnt_tick_phase(&mut self, phase: usize) {
+        self.icnt.tick_phase(phase);
+    }
+
+    /// Core cycles elapsed so far.
+    pub(crate) fn core_cycles(&self) -> u64 {
+        self.clocks.cycles(Domain::Core)
+    }
+
+    /// The configured core-cycle safety limit.
+    pub(crate) fn max_core_cycles(&self) -> u64 {
+        self.cfg.max_core_cycles
     }
 
     fn step_dram_domain(&mut self) {

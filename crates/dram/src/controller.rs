@@ -53,6 +53,17 @@ impl DramRequest {
     }
 }
 
+/// A queued request with its address decode cached: the schedulers
+/// re-inspect every queue entry's (bank, row) each cycle, and the decode
+/// divides by runtime values (`row_bytes`, `banks`), so it is computed
+/// once at enqueue instead of O(queue) times per scan.
+#[derive(Copy, Clone, Debug)]
+struct QueuedRequest {
+    req: DramRequest,
+    bank: usize,
+    row: u64,
+}
+
 /// A completed request, available to the caller at `done`.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub struct Completion {
@@ -126,7 +137,7 @@ pub struct MemoryController {
     policy: SchedulingPolicy,
     page_policy: PagePolicy,
     banks: Vec<Bank>,
-    queue: VecDeque<DramRequest>,
+    queue: VecDeque<QueuedRequest>,
     in_flight: VecDeque<Completion>,
     /// Earliest cycle the shared data bus is free.
     bus_free: u64,
@@ -220,7 +231,9 @@ impl MemoryController {
             return Err(req);
         }
         self.stats.accepted += 1;
-        self.queue.push_back(req);
+        let bank = self.cfg.bank_of(req.addr);
+        let row = self.cfg.row_of(req.addr);
+        self.queue.push_back(QueuedRequest { req, bank, row });
         Ok(())
     }
 
@@ -272,9 +285,7 @@ impl MemoryController {
     }
 
     fn issue_cas(&mut self, idx: usize, now: u64) {
-        let req = self.queue.remove(idx).expect("index valid");
-        let bank = self.cfg.bank_of(req.addr);
-        let row = self.cfg.row_of(req.addr);
+        let QueuedRequest { req, bank, row } = self.queue.remove(idx).expect("index valid");
         self.banks[bank].cas(row, now);
         let burst = self.cfg.burst_cycles();
         let start = (now + self.cfg.timings.t_cl).max(self.bus_free);
@@ -295,24 +306,17 @@ impl MemoryController {
     fn step_frfcfs(&mut self, now: u64) {
         // 1. Oldest row hit whose bank may issue and whose data slot is
         //    available.
-        let hit = self.queue.iter().position(|r| {
-            let b = self.cfg.bank_of(r.addr);
-            self.banks[b].can_cas(self.cfg.row_of(r.addr), now)
-        });
+        let hit = self.queue.iter().position(|r| self.banks[r.bank].can_cas(r.row, now));
         if let Some(idx) = hit {
             self.issue_cas(idx, now);
             return;
         }
         // 2. Oldest request whose bank is closed and may activate.
         if self.rrd_ok(now) {
-            let act = self.queue.iter().position(|r| {
-                let b = self.cfg.bank_of(r.addr);
-                self.banks[b].can_activate(now)
-            });
+            let act = self.queue.iter().position(|r| self.banks[r.bank].can_activate(now));
             if let Some(idx) = act {
                 let r = self.queue[idx];
-                let b = self.cfg.bank_of(r.addr);
-                self.banks[b].activate(self.cfg.row_of(r.addr), now, &self.cfg.timings);
+                self.banks[r.bank].activate(r.row, now, &self.cfg.timings);
                 self.last_activate = Some(now);
                 self.stats.activates += 1;
                 return;
@@ -321,21 +325,18 @@ impl MemoryController {
         // 3. Oldest request with a row conflict — precharge, but only if no
         //    earlier queued request still hits that bank's open row.
         let pre = self.queue.iter().position(|r| {
-            let b = self.cfg.bank_of(r.addr);
-            let bank = &self.banks[b];
+            let bank = &self.banks[r.bank];
             match bank.open_row() {
                 Some(open) => {
-                    open != self.cfg.row_of(r.addr)
+                    open != r.row
                         && bank.can_precharge(now)
-                        && !self.queue.iter().any(|q| {
-                            self.cfg.bank_of(q.addr) == b && self.cfg.row_of(q.addr) == open
-                        })
+                        && !self.queue.iter().any(|q| q.bank == r.bank && q.row == open)
                 }
                 None => false,
             }
         });
         if let Some(idx) = pre {
-            let b = self.cfg.bank_of(self.queue[idx].addr);
+            let b = self.queue[idx].bank;
             self.banks[b].precharge(now, &self.cfg.timings);
             self.stats.precharges += 1;
             return;
@@ -346,10 +347,7 @@ impl MemoryController {
                 let bank = &self.banks[b];
                 let Some(open) = bank.open_row() else { continue };
                 if bank.can_precharge(now)
-                    && !self
-                        .queue
-                        .iter()
-                        .any(|q| self.cfg.bank_of(q.addr) == b && self.cfg.row_of(q.addr) == open)
+                    && !self.queue.iter().any(|q| q.bank == b && q.row == open)
                 {
                     self.banks[b].precharge(now, &self.cfg.timings);
                     self.stats.precharges += 1;
@@ -361,8 +359,7 @@ impl MemoryController {
 
     fn step_fcfs(&mut self, now: u64) {
         let Some(&r) = self.queue.front() else { return };
-        let b = self.cfg.bank_of(r.addr);
-        let row = self.cfg.row_of(r.addr);
+        let QueuedRequest { bank: b, row, .. } = r;
         if self.banks[b].can_cas(row, now) {
             self.issue_cas(0, now);
         } else if self.banks[b].open_row().is_some()

@@ -4,9 +4,13 @@
 use crate::grid::{SweepCell, SweepGrid};
 use crate::pool::run_indexed;
 use crate::record::{RunPerf, RunRecord};
+use std::collections::HashMap;
 use tenoc_core::area::{throughput_effectiveness, AreaModel};
 use tenoc_core::experiments::{run_traced_with_system_config, run_with_system_config};
-use tenoc_core::{ClockConfig, PowerModel, RunMetrics, SystemConfig, TelemetryConfig};
+use tenoc_core::{
+    ClockConfig, EngineKind, IcntConfig, PowerModel, RunMetrics, SystemConfig, TelemetryConfig,
+};
+use tenoc_noc::ArenaNetwork;
 use tenoc_simt::TrafficClass;
 
 /// One cell's raw result, before area/power annotation.
@@ -65,6 +69,149 @@ pub fn run_grid(grid: &SweepGrid, jobs: usize) -> Vec<CellResult> {
 /// Propagates panics from [`run_cell`].
 pub fn run_sweep(grid: &SweepGrid, jobs: usize) -> Vec<RunRecord> {
     run_grid(grid, jobs).into_iter().map(|r| annotate(&r)).collect()
+}
+
+/// `true` when a cell may run on the batched arena engine: no telemetry
+/// (that needs the oracle's observability hooks) and a physical network
+/// whose shape fits the arena's packed slabs.
+fn arena_eligible(cell: &SweepCell) -> bool {
+    if cell.telemetry {
+        return false;
+    }
+    match cell.preset.icnt(cell.mesh_k) {
+        IcntConfig::Mesh(c) => ArenaNetwork::supports(&c),
+        IcntConfig::Double(c) => {
+            c.channel_bytes.is_multiple_of(2) && ArenaNetwork::supports(&c.slice())
+        }
+        _ => false,
+    }
+}
+
+/// The shape-hash batching key: cells whose keys match build
+/// identically-dimensioned simulators (same topology, VC layout, buffer
+/// depths, ports, clocking) and may run lockstep in one batch. The seed
+/// is excluded — batched cells differ in seeds and traffic by design.
+fn shape_key(cell: &SweepCell) -> String {
+    match cell.preset.icnt(cell.mesh_k) {
+        IcntConfig::Mesh(c) => format!("mesh:{}", c.shape_fingerprint()),
+        IcntConfig::Double(c) => format!("double:{}", c.shape_fingerprint()),
+        // Ideal networks never reach here (not arena-eligible).
+        other => format!("ideal:{other:?}"),
+    }
+}
+
+/// Runs a set of same-shape cells in lockstep on the arena engine,
+/// returning results in input order — metrics bit-identical to
+/// [`run_cell`] on each. Each result's wall time is the whole batch's
+/// wall time (the cells genuinely co-ran); aggregate throughput is
+/// `sum(icnt_cycles) / wall`.
+///
+/// # Panics
+///
+/// Panics if a benchmark is unknown, a cell wants telemetry, or a run
+/// hits the safety cycle limit.
+pub fn run_cells_lockstep(cells: &[SweepCell]) -> Vec<CellResult> {
+    let start = std::time::Instant::now();
+    let mut systems = Vec::with_capacity(cells.len());
+    let mut classes = Vec::with_capacity(cells.len());
+    for cell in cells {
+        assert!(!cell.telemetry, "telemetry cells must run on the per-cell oracle");
+        let spec = tenoc_workloads::by_name(&cell.benchmark)
+            .unwrap_or_else(|| panic!("unknown benchmark {}", cell.benchmark));
+        let mut cfg = SystemConfig::with_icnt(cell.preset.icnt(cell.mesh_k));
+        cfg.seed = cell.seed;
+        cfg.engine = EngineKind::Arena;
+        classes.push(spec.class);
+        systems.push(tenoc_core::System::new(cfg, &spec.scaled(cell.scale)));
+    }
+    let metrics = tenoc_core::run_lockstep(&mut systems);
+    let wall_nanos = start.elapsed().as_nanos() as u64;
+    cells
+        .iter()
+        .zip(metrics)
+        .zip(classes)
+        .map(|((cell, m), class)| {
+            assert!(m.completed, "{} did not complete (possible deadlock)", cell.benchmark);
+            CellResult { cell: cell.clone(), class, metrics: m, wall_nanos, telemetry: Vec::new() }
+        })
+        .collect()
+}
+
+/// One unit of work for the batched scheduler: a single cell on the
+/// oracle engine, or a same-shape chunk on the lockstep arena engine.
+enum WorkUnit {
+    Oracle(usize),
+    Batch(Vec<usize>),
+}
+
+/// Runs every cell of `grid`, grouping same-shape cells into lockstep
+/// batches of at most `batch` cells and falling back to the per-cell
+/// oracle for singleton shapes, telemetry cells, and shapes the arena
+/// cannot pack. Results are in cell order and bit-identical to
+/// [`run_grid`] at any `jobs` and any `batch` width.
+///
+/// # Panics
+///
+/// Propagates panics from [`run_cell`] / [`run_cells_lockstep`].
+pub fn run_grid_batched(grid: &SweepGrid, jobs: usize, batch: usize) -> Vec<CellResult> {
+    let cells = grid.cells();
+    if batch <= 1 {
+        return run_indexed(cells.len(), jobs, |i| run_cell(&cells[i]));
+    }
+    // Group arena-eligible cells by shape, preserving cell order within
+    // and across groups (first-seen order) so unit composition depends
+    // only on the grid, never on the thread schedule.
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    let mut by_key: HashMap<String, usize> = HashMap::new();
+    let mut singles: Vec<usize> = Vec::new();
+    for (i, cell) in cells.iter().enumerate() {
+        if arena_eligible(cell) {
+            let slot = *by_key.entry(shape_key(cell)).or_insert_with(|| {
+                groups.push(Vec::new());
+                groups.len() - 1
+            });
+            groups[slot].push(i);
+        } else {
+            singles.push(i);
+        }
+    }
+    let mut units: Vec<WorkUnit> = Vec::new();
+    for group in groups {
+        if group.len() == 1 {
+            // A singleton shape gains nothing from the batch path; the
+            // oracle kernel is the measured-and-tested default there.
+            units.push(WorkUnit::Oracle(group[0]));
+        } else {
+            for chunk in group.chunks(batch) {
+                units.push(WorkUnit::Batch(chunk.to_vec()));
+            }
+        }
+    }
+    units.extend(singles.into_iter().map(WorkUnit::Oracle));
+
+    let produced: Vec<Vec<(usize, CellResult)>> =
+        run_indexed(units.len(), jobs, |u| match &units[u] {
+            WorkUnit::Oracle(i) => vec![(*i, run_cell(&cells[*i]))],
+            WorkUnit::Batch(idxs) => {
+                let batch_cells: Vec<SweepCell> = idxs.iter().map(|&i| cells[i].clone()).collect();
+                idxs.iter().copied().zip(run_cells_lockstep(&batch_cells)).collect()
+            }
+        });
+    let mut out: Vec<Option<CellResult>> = (0..cells.len()).map(|_| None).collect();
+    for (i, result) in produced.into_iter().flatten() {
+        out[i] = Some(result);
+    }
+    out.into_iter().map(|r| r.expect("every cell ran")).collect()
+}
+
+/// [`run_sweep`] over the batched scheduler: sealed records in cell
+/// order, byte-identical to the unbatched sweep at any `jobs`/`batch`.
+///
+/// # Panics
+///
+/// Propagates panics from [`run_grid_batched`].
+pub fn run_sweep_batched(grid: &SweepGrid, jobs: usize, batch: usize) -> Vec<RunRecord> {
+    run_grid_batched(grid, jobs, batch).into_iter().map(|r| annotate(&r)).collect()
 }
 
 /// Annotates a raw result with the design point's area/power model and

@@ -148,6 +148,7 @@ pub fn cross_validate(label: &str, net: &tenoc_noc::NetworkConfig, cfg: &XvalCon
     let mut points = Vec::new();
     let mut max_sustained = 0.0_f64;
     let mut observed_hottest = String::from("-");
+    let mut loads = Vec::new();
     for &rate in &cfg.rates {
         let mut ol = OpenLoopConfig::new(net.clone(), rate, TrafficPattern::UniformRandom);
         ol.warmup = cfg.warmup;
@@ -164,7 +165,7 @@ pub fn cross_validate(label: &str, net: &tenoc_noc::NetworkConfig, cfg: &XvalCon
             // from it (hot flows clamp first), so saturated heatmaps no
             // longer reflect the matrix the prediction is about. Rates
             // ascend, so the last keeping-up point wins.
-            let loads = network.link_loads();
+            network.link_loads_into(&mut loads);
             if let Some((node, dir, _)) =
                 loads.iter().reduce(|best, c| if c.2 > best.2 { c } else { best })
             {

@@ -1,0 +1,39 @@
+//! The batched scheduler's determinism contract: grouping same-shape
+//! cells onto the arena engine must not change a single byte of the
+//! sweep's output — records, fingerprints and JSONL agree with the
+//! unbatched per-cell sweep at every `jobs` and `batch` combination.
+
+use tenoc_core::Preset;
+use tenoc_harness::{engine, to_jsonl, SeedMode, SweepGrid};
+
+fn grid() -> SweepGrid {
+    SweepGrid::new(
+        vec![Preset::BaselineTbDor, Preset::ThroughputEffective],
+        vec!["HIS".into(), "RD".into()],
+        0.02,
+    )
+    .with_seed_mode(SeedMode::Derived(0x7e0c))
+}
+
+#[test]
+fn batched_sweep_matches_unbatched_at_all_widths() {
+    let reference = engine::run_sweep(&grid(), 1);
+    assert!(reference.iter().all(|r| r.fingerprint_valid()));
+    for batch in [2, 4, 8] {
+        let batched = engine::run_sweep_batched(&grid(), 1, batch);
+        assert_eq!(reference, batched, "batch={batch} diverged from the unbatched sweep");
+        assert_eq!(
+            to_jsonl(&reference),
+            to_jsonl(&batched),
+            "batch={batch} JSONL (fingerprints included) must be byte-identical"
+        );
+    }
+}
+
+#[test]
+fn batched_sweep_is_identical_at_jobs_1_and_jobs_4() {
+    let seq = engine::run_sweep_batched(&grid(), 1, 4);
+    let par = engine::run_sweep_batched(&grid(), 4, 4);
+    assert_eq!(seq, par, "jobs=4 must reproduce jobs=1 bit-for-bit under batching");
+    assert_eq!(to_jsonl(&seq), to_jsonl(&par));
+}

@@ -1,0 +1,1475 @@
+//! Batched structure-of-arrays execution engine.
+//!
+//! [`ArenaNetwork`] is an alternative execution engine for the exact
+//! simulation that [`Network`](crate::network::Network) defines: instead of
+//! per-router `Vec<Router>` / `Vec<Vec<…>>` nesting, every piece of router
+//! state — input-VC FIFOs, per-VC credit counters, `out_vc_owner`, the
+//! round-robin arbiter pointers, NI slots, channel delay lines — lives in
+//! one contiguous index-addressed slab per kind of state. The pipeline
+//! stages then iterate over dense arrays with a per-node occupancy bitmask
+//! selecting the (input port, VC) lanes that hold flits, which is what
+//! makes the inner loops cache-dense and branch-uniform.
+//!
+//! The arena is an *engine*, not a model: it executes the oracle's event
+//! schedule bit-exactly. Every arbiter pointer is sized by the router's
+//! actual port counts (not the slab stride), every phase visits nodes in
+//! the same ascending active-set order, and the RNG is consumed by the
+//! same calls in the same order — so statistics, ejection traces, cycle
+//! counts and therefore `RunRecord` fingerprints are identical to the
+//! per-cell kernel. `tests/arena_batch_equivalence.rs` pins this with
+//! proptests over random legal configurations and batch widths.
+//!
+//! [`NetBatch`] stacks B same-shape cells (same topology/VC/buffer shape;
+//! differing seeds and traffic) and advances them in lockstep, cell-major
+//! per phase: deliver over all cells, then NI, then routers, then retire.
+//! Per-cell state never interleaves — each cell owns its slabs, RNG and
+//! `ActiveSet` — so batching is a pure scheduling transform and cannot
+//! change any cell's outcome. See DESIGN.md §15.
+
+use crate::activeset::ActiveSet;
+use crate::buffer::VcState;
+use crate::config::{NetworkConfig, RouterTiming};
+use crate::interconnect::Interconnect;
+use crate::packet::{EjectedPacket, Packet, PacketClass, PacketHeader, Phase};
+use crate::routing::{self, OutPort};
+use crate::stats::NetStats;
+use crate::telemetry::TelemetryConfig;
+use crate::tick::Tick;
+use crate::topology::RouterKind;
+use crate::types::{Direction, NodeId};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::collections::VecDeque;
+
+/// Opposite-direction port index: `North <-> South`, `East <-> West`.
+const OPP: [usize; 4] = [2, 3, 0, 1];
+
+/// First set bit of `mask` at or cyclically after `ptr`, over an `n`-bit
+/// ring (`n < 32`, `mask` nonzero within the low `n` bits). This is the
+/// round-robin arbiter pick: rotate the ring so `ptr` is bit 0, take the
+/// lowest set bit, rotate back.
+#[inline(always)]
+fn circ_first(mask: u32, ptr: usize, n: usize) -> usize {
+    debug_assert!(mask != 0 && ptr < n && n < 32);
+    let rot = (mask >> ptr) | (mask << (n - ptr));
+    let win = ptr + rot.trailing_zeros() as usize;
+    if win >= n {
+        win - n
+    } else {
+        win
+    }
+}
+
+/// [`circ_first`] over a 128-bit ring (`n <= 128`). The `ptr == 0` case is
+/// split out because `mask << n` would overflow the shift when `n == 128`.
+#[inline(always)]
+fn circ_first128(mask: u128, ptr: usize, n: usize) -> usize {
+    debug_assert!(mask != 0 && ptr < n && n <= 128);
+    if ptr == 0 {
+        return mask.trailing_zeros() as usize;
+    }
+    let rot = (mask >> ptr) | (mask << (n - ptr));
+    let win = ptr + rot.trailing_zeros() as usize;
+    if win >= n {
+        win - n
+    } else {
+        win
+    }
+}
+
+/// A packet being streamed flit-by-flit into a router injection port.
+#[derive(Copy, Clone, Debug)]
+struct NiPacket {
+    /// Packet-table row.
+    pkt: u32,
+    next_seq: u16,
+    /// Total flit count, copied here so streaming a body flit does not
+    /// touch the packet-table row.
+    flits: u16,
+    vc: Option<u8>,
+}
+
+/// A flit in flight: a reference into the packet table plus its sequence
+/// number. 6 bytes instead of a ~90-byte header copy — the single biggest
+/// lever on the engine's memory traffic, since every hop moves each flit
+/// through a buffer pop, a channel ring, and a buffer push.
+#[derive(Copy, Clone, Debug)]
+struct LaneFlit {
+    pkt: u32,
+    /// Sequence within the packet (`0` = head).
+    seq: u16,
+}
+
+/// A buffered flit: 12 bytes per FIFO slot. Cycle stamps are stored as
+/// `u32` — simulations are bounded by `max_core_cycles`, far below 2^32.
+#[derive(Copy, Clone, Debug)]
+struct FifoEntry {
+    pkt: u32,
+    arrival: u32,
+    seq: u16,
+}
+
+/// A flit on a channel ring: 12 bytes per slot.
+#[derive(Copy, Clone, Debug)]
+struct ChFlit {
+    pkt: u32,
+    due: u32,
+    seq: u16,
+    vc: u8,
+}
+
+/// The number of phases one [`ArenaNetwork`] cycle splits into; see
+/// [`Interconnect::tick_phase`]. The arena fuses its whole cycle into a
+/// single per-node sweep (see [`ArenaNetwork::run_phase`]), so one phase
+/// is the cycle.
+pub const ARENA_PHASES: usize = 1;
+
+/// One physical mesh network, stored as flat structure-of-arrays slabs.
+///
+/// Drop-in replacement for [`Network`](crate::network::Network) behind the
+/// [`Interconnect`] trait with bit-identical observable behavior (same
+/// stats, same ejection order, same RNG stream). Telemetry is the one
+/// unsupported feature — armed cells must run on the oracle engine.
+pub struct ArenaNetwork {
+    cfg: NetworkConfig,
+    // --- shape (immutable after construction) ---
+    n: usize,
+    /// VCs per input port.
+    nv: usize,
+    /// Buffer depth per VC, in flits.
+    depth: usize,
+    /// Slab stride: max input ports over all nodes (4 + max inject ports).
+    in_max: usize,
+    /// Slab stride: max output ports over all nodes (4 + max eject ports).
+    out_max: usize,
+    /// Input-VC slots per node (`in_max * nv`).
+    ivc_stride: usize,
+    /// Output-VC slots per node (`out_max * nv`).
+    ovc_stride: usize,
+    /// Actual input-port count per node — arbiter modulo arithmetic uses
+    /// this, never the slab stride, to match the oracle's pointer orbits.
+    node_n_in: Vec<u8>,
+    /// Actual output-port count per node.
+    node_n_out: Vec<u8>,
+    node_n_eject: Vec<u8>,
+    node_kind: Vec<RouterKind>,
+    node_timing: Vec<RouterTiming>,
+    /// Per-node `st_delay + link_latency + 1` (half-routers differ).
+    node_flit_delay: Vec<u64>,
+    /// Neighbor per `[node][dir]`; `-1` at mesh edges.
+    nbr: Vec<[i32; 4]>,
+    // --- packet table ---
+    /// One header per in-flight packet, indexed by [`LaneFlit::pkt`]. RC
+    /// mutates a packet's routing fields here in place — bit-identical to
+    /// the oracle mutating its head flit's copy, because a wormhole head
+    /// visits routers strictly in sequence. Rows recycle via `pkt_free`
+    /// when the tail flit ejects.
+    pkts: Vec<PacketHeader>,
+    /// Injection-time `(phase, via)` per row, restored into the header at
+    /// ejection so the ejected packet is byte-identical to the oracle's
+    /// (whose tail flit still carries the injection-time copy).
+    pkt_init: Vec<(Phase, Option<NodeId>)>,
+    /// Dense mirror of each row's flit count — tail detection per grant
+    /// reads 2 bytes here instead of pulling the 80-byte header row.
+    pkt_flits: Vec<u16>,
+    /// Free packet-table rows.
+    pkt_free: Vec<u32>,
+    // --- input-VC slabs, indexed `node * ivc_stride + in_port * nv + vc` ---
+    /// FIFO storage: slot `i` owns `fifo[i*depth .. (i+1)*depth]` as a
+    /// ring of flits stamped with their arrival cycle.
+    fifo: Vec<FifoEntry>,
+    fifo_head: Vec<u8>,
+    fifo_len: Vec<u8>,
+    vc_state: Vec<VcState>,
+    /// Round-robin cursor over candidate output VCs (VA request rotation).
+    vc_cursor: Vec<u8>,
+    /// Per-node occupancy bitmask: bit `in_port * nv + vc` set iff that
+    /// VC buffers at least one flit. Drives RC/VA/SA lane selection.
+    occ: Vec<u128>,
+    /// Per-node mask of lanes in `VcState::Waiting` (routed, awaiting VA).
+    /// Always a subset of `occ`: the routed head stays buffered until SA.
+    waiting: Vec<u128>,
+    /// Per-node mask of lanes in `VcState::Active` (own a downstream VC).
+    /// Not a subset of `occ` — an active lane may have drained its buffer
+    /// while body flits are still in flight upstream.
+    active_vcs: Vec<u128>,
+    /// Per-node mask of active lanes whose downstream VC has a credit.
+    /// Maintained incrementally at every credit arrival/consumption and VA
+    /// grant; only meaningful under `active_vcs`. Readiness for the switch
+    /// is then `active & occ & credit_ok & !gate` with no table probes.
+    credit_ok: Vec<u128>,
+    /// Per-node mask of lanes whose head won VA this cycle and is gated
+    /// out of same-cycle switch traversal (multi-cycle routers only).
+    /// Rebuilt by VA each cycle before SA reads it.
+    sa_gate: Vec<u128>,
+    /// Buffered flits per node (drain detection).
+    node_occ: Vec<u32>,
+    // --- output-VC slabs, indexed `node * ovc_stride + out_port * nv + vc` ---
+    credits: Vec<u16>,
+    /// Holder of each downstream VC as flat `in_port * nv + vc`, `-1` free.
+    owner: Vec<i16>,
+    /// VA output-arbiter pointer per (out_port, vc).
+    va_ptr: Vec<u16>,
+    /// SA input-arbiter pointer per `[node * in_max + in_port]`, over VCs.
+    sa_in_ptr: Vec<u8>,
+    /// SA output-arbiter pointer per `[node * out_max + out_port]`, over
+    /// the node's actual input ports.
+    sa_out_ptr: Vec<u8>,
+    // --- channel slabs, indexed `node * 4 + dir` ---
+    /// Flit delay-line rings: channel `c` owns
+    /// `ch_flit[c*ch_cap .. (c+1)*ch_cap]`, entries `(due, vc, flit)`.
+    ch_flit: Vec<ChFlit>,
+    ch_flit_head: Vec<u16>,
+    ch_flit_len: Vec<u16>,
+    /// Ring capacity per channel (max flit delay + 2, one slot per cycle
+    /// in flight plus slack).
+    ch_cap: usize,
+    /// Credit return rings: channel `c` owns `ch_credit[c*4 .. c*4+4]`,
+    /// entries `(due, vc)`; at most one credit per channel per cycle with
+    /// a one-cycle delay, so 4 slots cannot overflow.
+    ch_credit: Vec<(u64, u8)>,
+    ch_credit_head: Vec<u8>,
+    ch_credit_len: Vec<u8>,
+    ch_total: Vec<u64>,
+    /// Per-node direction masks of non-empty inbound flit rings /
+    /// outbound credit rings — set at the push, cleared when delivery
+    /// drains the ring, so delivery and idle checks skip empty rings.
+    flit_pending: Vec<u8>,
+    credit_pending: Vec<u8>,
+    // --- network interfaces, indexed `node * (in_max - 4) + port` ---
+    ni: Vec<Option<NiPacket>>,
+    node_n_inject: Vec<u8>,
+    /// Busy NI slots per node.
+    ni_busy: Vec<u8>,
+    ni_cursor: Vec<u32>,
+    // --- cold state ---
+    ejected: Vec<VecDeque<EjectedPacket>>,
+    eject_credits: VecDeque<(u64, NodeId, usize, u8)>,
+    cycle: u64,
+    stats: NetStats,
+    rng: SmallRng,
+    next_pkt_id: u64,
+    active: ActiveSet,
+    // --- O(1) in-flight accounting ---
+    buffered: usize,
+    flying: usize,
+    ni_pending: usize,
+    // --- per-cycle scratch (steady-state allocation-free) ---
+    /// VA per-(out_port, out_vc) requester masks (bit `in_port * nv + vc`).
+    va_req: Vec<u128>,
+    /// SA output-first grants offered to each input port.
+    sa_grants: Vec<Vec<(u8, u8, u8)>>,
+    /// SA output-first per-output request masks (bit `in_port * nv + vc`).
+    sa_op_req: Vec<u128>,
+}
+
+impl ArenaNetwork {
+    /// `true` if this configuration's shape fits the arena's packed
+    /// representation (occupancy masks are 128-bit, ring indices 8-bit).
+    /// Unsupported shapes must run on the oracle engine.
+    pub fn supports(cfg: &NetworkConfig) -> bool {
+        let nv = cfg.vcs.total as usize;
+        let max_inject = cfg.mc_inject_ports.max(cfg.core_inject_ports);
+        (4 + max_inject) * nv <= 128 && cfg.vc_depth <= 255 && !cfg.mesh.is_empty()
+    }
+
+    /// Builds an arena engine from a validated configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.validate()` fails or [`ArenaNetwork::supports`] is
+    /// false for `cfg`.
+    pub fn new(cfg: NetworkConfig) -> Self {
+        cfg.validate().expect("invalid network configuration");
+        assert!(Self::supports(&cfg), "config shape exceeds arena limits; use Network");
+        crate::audit::audit(&cfg);
+        let n = cfg.mesh.len();
+        let nv = cfg.vcs.total as usize;
+        let depth = cfg.vc_depth;
+        let max_inject = cfg.mc_inject_ports.max(cfg.core_inject_ports);
+        let max_eject = cfg.mc_eject_ports.max(cfg.core_eject_ports);
+        let in_max = 4 + max_inject;
+        let out_max = 4 + max_eject;
+        let ivc_stride = in_max * nv;
+        let ovc_stride = out_max * nv;
+
+        let mut node_n_in = Vec::with_capacity(n);
+        let mut node_n_out = Vec::with_capacity(n);
+        let mut node_n_eject = Vec::with_capacity(n);
+        let mut node_n_inject = Vec::with_capacity(n);
+        let mut node_kind = Vec::with_capacity(n);
+        let mut node_timing = Vec::with_capacity(n);
+        let mut node_flit_delay = Vec::with_capacity(n);
+        let mut nbr = Vec::with_capacity(n);
+        let mut max_delay = 0u64;
+        for node in 0..n {
+            let inj = cfg.inject_ports(node);
+            let ej = cfg.eject_ports(node);
+            node_n_in.push((4 + inj) as u8);
+            node_n_out.push((4 + ej) as u8);
+            node_n_eject.push(ej as u8);
+            node_n_inject.push(inj as u8);
+            node_kind.push(cfg.mesh.kind(node));
+            let t = cfg.timing(node);
+            node_timing.push(t);
+            let fd = t.st_delay + cfg.link_latency as u64 + 1;
+            max_delay = max_delay.max(fd);
+            node_flit_delay.push(fd);
+            nbr.push(std::array::from_fn(|d| {
+                cfg.mesh.neighbor(node, Direction::from_index(d)).map_or(-1, |x| x as i32)
+            }));
+        }
+        let ch_cap = (max_delay as usize + 2).next_power_of_two();
+
+        // Downstream credits start at the buffer depth for present ports
+        // (all local ports; direction ports only where a neighbor exists).
+        let mut credits = vec![0u16; n * ovc_stride];
+        for node in 0..n {
+            for op in 0..node_n_out[node] as usize {
+                if op >= 4 || nbr[node][op] >= 0 {
+                    for vc in 0..nv {
+                        credits[node * ovc_stride + op * nv + vc] = depth as u16;
+                    }
+                }
+            }
+        }
+
+        let dummy = FifoEntry { pkt: 0, arrival: 0, seq: 0 };
+        ArenaNetwork {
+            n,
+            nv,
+            depth,
+            in_max,
+            out_max,
+            ivc_stride,
+            ovc_stride,
+            node_n_in,
+            node_n_out,
+            node_n_eject,
+            node_kind,
+            node_timing,
+            node_flit_delay,
+            nbr,
+            pkts: Vec::with_capacity(64),
+            pkt_init: Vec::with_capacity(64),
+            pkt_flits: Vec::with_capacity(64),
+            pkt_free: Vec::with_capacity(64),
+            fifo: vec![dummy; n * ivc_stride * depth],
+            fifo_head: vec![0; n * ivc_stride],
+            fifo_len: vec![0; n * ivc_stride],
+            vc_state: vec![VcState::Idle; n * ivc_stride],
+            vc_cursor: vec![0; n * ivc_stride],
+            occ: vec![0; n],
+            waiting: vec![0; n],
+            active_vcs: vec![0; n],
+            credit_ok: vec![0; n],
+            sa_gate: vec![0; n],
+            node_occ: vec![0; n],
+            credits,
+            owner: vec![-1; n * ovc_stride],
+            va_ptr: vec![0; n * ovc_stride],
+            sa_in_ptr: vec![0; n * in_max],
+            sa_out_ptr: vec![0; n * out_max],
+            ch_flit: vec![ChFlit { pkt: 0, due: 0, seq: 0, vc: 0 }; n * 4 * ch_cap],
+            ch_flit_head: vec![0; n * 4],
+            ch_flit_len: vec![0; n * 4],
+            ch_cap,
+            ch_credit: vec![(0, 0); n * 4 * 4],
+            ch_credit_head: vec![0; n * 4],
+            ch_credit_len: vec![0; n * 4],
+            ch_total: vec![0; n * 4],
+            flit_pending: vec![0; n],
+            credit_pending: vec![0; n],
+            ni: vec![None; n * max_inject],
+            node_n_inject,
+            ni_busy: vec![0; n],
+            ni_cursor: vec![0; n],
+            ejected: (0..n).map(|_| VecDeque::new()).collect(),
+            eject_credits: VecDeque::new(),
+            cycle: 0,
+            stats: NetStats::new(n),
+            rng: SmallRng::seed_from_u64(cfg.seed),
+            next_pkt_id: 1,
+            active: ActiveSet::all(n),
+            buffered: 0,
+            flying: 0,
+            ni_pending: 0,
+            va_req: vec![0; out_max * nv],
+            sa_grants: (0..in_max).map(|_| Vec::with_capacity(out_max)).collect(),
+            sa_op_req: vec![0; out_max],
+            cfg,
+        }
+    }
+
+    /// The network's configuration.
+    pub fn config(&self) -> &NetworkConfig {
+        &self.cfg
+    }
+
+    /// Per-link traffic, identical to
+    /// [`Network::link_loads`](crate::network::Network::link_loads).
+    pub fn link_loads(&self) -> Vec<(NodeId, Direction, u64)> {
+        let mut out = Vec::new();
+        self.link_loads_into(&mut out);
+        out
+    }
+
+    /// Appends per-link traffic into a caller-provided buffer (cleared
+    /// first), avoiding a fresh allocation per read on hot paths.
+    pub fn link_loads_into(&self, out: &mut Vec<(NodeId, Direction, u64)>) {
+        out.clear();
+        for node in 0..self.n {
+            for dir in Direction::ALL {
+                if self.nbr[node][dir.index()] >= 0 {
+                    out.push((node, dir, self.ch_total[node * 4 + dir.index()]));
+                }
+            }
+        }
+    }
+
+    // --- slab index helpers ---
+
+    #[inline(always)]
+    fn ivc(&self, node: usize, ip: usize, vc: usize) -> usize {
+        node * self.ivc_stride + ip * self.nv + vc
+    }
+
+    #[inline(always)]
+    fn ovc(&self, node: usize, op: usize, vc: usize) -> usize {
+        node * self.ovc_stride + op * self.nv + vc
+    }
+
+    /// Pushes a flit into input-VC slot `idx` (ring append).
+    #[inline(always)]
+    fn fifo_push(&mut self, node: usize, idx: usize, flit: LaneFlit, now: u64) {
+        let len = self.fifo_len[idx] as usize;
+        debug_assert!(len < self.depth, "VC buffer overflow (credit protocol violated)");
+        let mut pos = self.fifo_head[idx] as usize + len;
+        if pos >= self.depth {
+            pos -= self.depth;
+        }
+        debug_assert!(now <= u32::MAX as u64, "cycle stamp overflows the packed u32");
+        self.fifo[idx * self.depth + pos] =
+            FifoEntry { pkt: flit.pkt, arrival: now as u32, seq: flit.seq };
+        self.fifo_len[idx] = (len + 1) as u8;
+        self.occ[node] |= 1u128 << (idx - node * self.ivc_stride);
+        self.node_occ[node] += 1;
+        self.buffered += 1;
+    }
+
+    /// Pops the front flit from input-VC slot `idx`.
+    #[inline(always)]
+    fn fifo_pop(&mut self, node: usize, idx: usize) -> (LaneFlit, u64) {
+        let len = self.fifo_len[idx] as usize;
+        debug_assert!(len > 0, "granted VC has a flit");
+        let head = self.fifo_head[idx] as usize;
+        let e = self.fifo[idx * self.depth + head];
+        let out = (LaneFlit { pkt: e.pkt, seq: e.seq }, e.arrival as u64);
+        let mut nh = head + 1;
+        if nh >= self.depth {
+            nh = 0;
+        }
+        self.fifo_head[idx] = nh as u8;
+        self.fifo_len[idx] = (len - 1) as u8;
+        if len == 1 {
+            self.occ[node] &= !(1u128 << (idx - node * self.ivc_stride));
+        }
+        self.node_occ[node] -= 1;
+        self.buffered -= 1;
+        out
+    }
+
+    /// Delivery phase for one node: pops this node's due incoming flits
+    /// (from each neighbor's channel toward it) and due returning credits
+    /// (from its own outgoing channels). Mirrors `Network::deliver_node`.
+    fn deliver_node(&mut self, node: NodeId, now: u64) {
+        // Pending-direction masks stand in for probing all eight rings:
+        // a bit is set exactly while its ring is non-empty (set at the
+        // push in `commit_grant`, cleared here on drain-to-empty), and
+        // flit and credit deliveries touch disjoint state, so draining
+        // all flit rings before all credit rings matches the oracle's
+        // per-direction interleaving.
+        let mut fp = self.flit_pending[node];
+        while fp != 0 {
+            let d = fp.trailing_zeros() as usize;
+            fp &= fp - 1;
+            let nb = self.nbr[node][d];
+            debug_assert!(nb >= 0, "pending bit for a direction off the mesh edge");
+            let inbound = nb as usize * 4 + OPP[d];
+            loop {
+                let len = self.ch_flit_len[inbound] as usize;
+                if len == 0 {
+                    self.flit_pending[node] &= !(1 << d);
+                    break;
+                }
+                let head = self.ch_flit_head[inbound] as usize;
+                let e = self.ch_flit[inbound * self.ch_cap + head];
+                if e.due as u64 > now {
+                    break;
+                }
+                self.ch_flit_head[inbound] = ((head + 1) & (self.ch_cap - 1)) as u16;
+                self.ch_flit_len[inbound] = (len - 1) as u16;
+                self.flying -= 1;
+                let idx = self.ivc(node, d, e.vc as usize);
+                self.fifo_push(node, idx, LaneFlit { pkt: e.pkt, seq: e.seq }, now);
+            }
+        }
+        let mut cp = self.credit_pending[node];
+        while cp != 0 {
+            let d = cp.trailing_zeros() as usize;
+            cp &= cp - 1;
+            let outbound = node * 4 + d;
+            loop {
+                let len = self.ch_credit_len[outbound] as usize;
+                if len == 0 {
+                    self.credit_pending[node] &= !(1 << d);
+                    break;
+                }
+                let head = self.ch_credit_head[outbound] as usize;
+                let (due, vc) = self.ch_credit[outbound * 4 + head];
+                if due > now {
+                    break;
+                }
+                self.ch_credit_head[outbound] = ((head + 1) & 3) as u8;
+                self.ch_credit_len[outbound] = (len - 1) as u8;
+                let o = node * self.ovc_stride + d * self.nv + vc as usize;
+                self.credits[o] += 1;
+                debug_assert!(
+                    self.credits[o] as usize <= self.depth,
+                    "credit overflow on router {node} out port {d} vc {vc}"
+                );
+                let holder = self.owner[o];
+                if holder >= 0 {
+                    self.credit_ok[node] |= 1u128 << holder;
+                }
+            }
+        }
+    }
+
+    /// Returns due ejection-buffer credits to their routers (global, like
+    /// `Network::return_eject_credits`).
+    fn return_eject_credits(&mut self, now: u64) {
+        while let Some(&(due, node, out_port, vc)) = self.eject_credits.front() {
+            if due > now {
+                break;
+            }
+            self.eject_credits.pop_front();
+            let o = self.ovc(node, out_port, vc as usize);
+            self.credits[o] += 1;
+            debug_assert!(
+                self.credits[o] as usize <= self.depth,
+                "eject credit overflow at router {node}"
+            );
+            let holder = self.owner[o];
+            if holder >= 0 {
+                self.credit_ok[node] |= 1u128 << holder;
+            }
+        }
+    }
+
+    /// NI phase for one node: streams one flit per busy injection port,
+    /// choosing each packet's VC at head injection. Mirrors
+    /// `Network::stream_ni_node` (including the max-free-space VC pick).
+    fn stream_ni_node(&mut self, node: NodeId, now: u64) {
+        if self.ni_busy[node] == 0 {
+            return;
+        }
+        let base = node * (self.in_max - 4);
+        for port in 0..self.node_n_inject[node] as usize {
+            let Some(mut pkt) = self.ni[base + port] else { continue };
+            let row = pkt.pkt as usize;
+            let in_port = 4 + port;
+            if pkt.vc.is_none() {
+                let set = routing::vc_set_for(
+                    self.cfg.routing,
+                    &self.cfg.vcs,
+                    self.pkts[row].class,
+                    self.pkts[row].phase,
+                );
+                // Most free space wins; ties go to the lowest VC (the
+                // oracle's `max_by_key((space, Reverse(vc)))` over an
+                // ascending iterator).
+                let mut best: Option<(usize, u8)> = None;
+                for vc in set.iter() {
+                    let space =
+                        self.depth - self.fifo_len[self.ivc(node, in_port, vc as usize)] as usize;
+                    if space > 0 && best.is_none_or(|(bs, _)| space > bs) {
+                        best = Some((space, vc));
+                    }
+                }
+                match best {
+                    Some((_, vc)) => {
+                        pkt.vc = Some(vc);
+                        self.pkts[row].injected = now;
+                    }
+                    None => {
+                        self.ni[base + port] = Some(pkt);
+                        continue;
+                    }
+                }
+            }
+            let vc = pkt.vc.expect("vc chosen above");
+            let idx = self.ivc(node, in_port, vc as usize);
+            if (self.fifo_len[idx] as usize) < self.depth {
+                let flit = LaneFlit { pkt: pkt.pkt, seq: pkt.next_seq };
+                self.fifo_push(node, idx, flit, now);
+                pkt.next_seq += 1;
+                self.ni_pending -= 1;
+            }
+            if pkt.next_seq >= pkt.flits {
+                self.ni[base + port] = None;
+                self.ni_busy[node] -= 1;
+            } else {
+                self.ni[base + port] = Some(pkt);
+            }
+        }
+    }
+
+    /// RC stage: idle VCs with a head flit at the front get a route.
+    /// Iterates candidate lanes in ascending `(in_port, vc)` order — the
+    /// same order the oracle's dense double loop visits non-empty VCs.
+    /// Occupied-but-not-idle lanes are masked out rather than re-checked.
+    fn route_compute(&mut self, node: NodeId) {
+        let mut mask = self.occ[node] & !self.waiting[node] & !self.active_vcs[node];
+        let base = node * self.ivc_stride;
+        while mask != 0 {
+            let bit = mask.trailing_zeros() as usize;
+            mask &= mask - 1;
+            let idx = base + bit;
+            debug_assert!(
+                self.vc_state[idx] == VcState::Idle,
+                "state masks out of sync with vc_state at router {node}"
+            );
+            let e = self.fifo[idx * self.depth + self.fifo_head[idx] as usize];
+            let (flit, arrival) = (LaneFlit { pkt: e.pkt, seq: e.seq }, e.arrival as u64);
+            debug_assert!(
+                flit.seq == 0,
+                "body flit at front of idle VC (packet interleaving bug) at router {node}"
+            );
+            let row = flit.pkt as usize;
+            let dec = routing::next_hop(
+                self.cfg.routing,
+                &self.cfg.vcs,
+                &self.cfg.mesh,
+                node,
+                &mut self.pkts[row],
+            );
+            let out_port = match dec.out {
+                OutPort::Dir(d) => {
+                    debug_assert!(
+                        self.nbr[node][d.index()] >= 0,
+                        "route points off the mesh edge at router {node}"
+                    );
+                    d.index()
+                }
+                OutPort::Eject => {
+                    4 + (self.pkts[row].id as usize % self.node_n_eject[node] as usize)
+                }
+            };
+            debug_assert!(
+                {
+                    let in_port = bit / self.nv;
+                    let ik = if in_port < 4 {
+                        crate::topology::InPort::Dir(Direction::from_index(in_port))
+                    } else {
+                        crate::topology::InPort::Inject((in_port - 4) as u8)
+                    };
+                    let ok = if out_port < 4 {
+                        crate::topology::OutPortKind::Dir(Direction::from_index(out_port))
+                    } else {
+                        crate::topology::OutPortKind::Eject((out_port - 4) as u8)
+                    };
+                    crate::topology::connection_allowed(self.node_kind[node], ik, ok)
+                },
+                "routing used an illegal connection at router {node}"
+            );
+            self.vc_state[idx] = VcState::Waiting {
+                out_port,
+                vcs: dec.vcs,
+                va_eligible: arrival + self.node_timing[node].rc_delay,
+            };
+            self.waiting[node] |= 1u128 << bit;
+        }
+    }
+
+    /// VA stage: input-first separable allocation of downstream VCs.
+    /// Ports the oracle's gather / arbitrate / retain / restart loop with
+    /// a bitmask contender scan in place of the closure-driven arbiter.
+    fn vc_allocate(&mut self, node: NodeId, now: u64) {
+        let mut mask = self.waiting[node];
+        if mask == 0 {
+            // No Waiting lane means no request, and the oracle's arbiters
+            // move no pointer on a requestless pass.
+            return;
+        }
+        let base = node * self.ivc_stride;
+        // Requests bucketed by flat (out_port, out_vc). Each Waiting lane
+        // makes at most one request, so the buckets are disjoint lane
+        // sets with independent arbiters (each output VC owns its own RR
+        // pointer) — the oracle's grant / retain / restart loop resolves
+        // every bucket exactly once, in any order, with the same winners.
+        let mut used: u128 = 0;
+        while mask != 0 {
+            let bit = mask.trailing_zeros() as usize;
+            mask &= mask - 1;
+            let idx = base + bit;
+            let VcState::Waiting { out_port, vcs, va_eligible } = self.vc_state[idx] else {
+                unreachable!("waiting mask tracks Waiting lanes")
+            };
+            if va_eligible > now {
+                continue;
+            }
+            // Rotate through the candidate set with the VC's request
+            // cursor; first unowned downstream VC wins.
+            let cursor = self.vc_cursor[idx];
+            let count = vcs.count as usize;
+            for off in 0..count {
+                let ovc = vcs.first + ((cursor as usize + off) % count) as u8;
+                if self.owner[self.ovc(node, out_port, ovc as usize)] < 0 {
+                    let f = out_port * self.nv + ovc as usize;
+                    self.va_req[f] |= 1u128 << bit;
+                    used |= 1u128 << f;
+                    break;
+                }
+            }
+        }
+        let range = self.node_n_in[node] as usize * self.nv;
+        while used != 0 {
+            let f = used.trailing_zeros() as usize;
+            used &= used - 1;
+            let contenders = self.va_req[f];
+            self.va_req[f] = 0;
+            let (op, ovc) = (f / self.nv, (f % self.nv) as u8);
+            let o = self.ovc(node, op, ovc as usize);
+            let ptr = self.va_ptr[o] as usize;
+            let winner_flat = circ_first128(contenders, ptr, range);
+            self.va_ptr[o] = ((winner_flat + 1) % range) as u16;
+            self.owner[o] = winner_flat as i16;
+            let widx = base + winner_flat;
+            let VcState::Waiting { va_eligible, .. } = self.vc_state[widx] else {
+                unreachable!("VA winners come from Waiting lanes")
+            };
+            self.vc_state[widx] = VcState::Active { out_port: op, out_vc: ovc, va_cycle: now };
+            self.waiting[node] &= !(1u128 << winner_flat);
+            self.active_vcs[node] |= 1u128 << winner_flat;
+            if self.credits[o] > 0 {
+                self.credit_ok[node] |= 1u128 << winner_flat;
+            } else {
+                self.credit_ok[node] &= !(1u128 << winner_flat);
+            }
+            // Fresh-head gate, resolved here instead of per SA probe: the
+            // routed head is still at the front (`va_eligible` was
+            // `arrival + rc_delay` for exactly that flit), VA implies
+            // `now >= va_eligible`, so the oracle's
+            // `va_cycle <= arrival + rc_delay` test reduces to equality.
+            if !self.node_timing[node].same_cycle_sa && now == va_eligible {
+                self.sa_gate[node] |= 1u128 << winner_flat;
+            }
+            self.vc_cursor[widx] = self.vc_cursor[widx].wrapping_add(1);
+        }
+    }
+
+    /// Mask of input-VC lanes that may compete for the switch this cycle:
+    /// `Active`, non-empty, downstream credit available, and past the
+    /// fresh-head gate. Pure mask arithmetic — every term is maintained
+    /// incrementally at the state transition that changes it, replacing
+    /// the oracle's per-(port, VC) `sa_ready` probes. Readiness is fixed
+    /// for the whole allocation because neither SA phase mutates state
+    /// before its grants are decided.
+    #[inline(always)]
+    fn sa_ready_mask(&self, node: usize) -> u128 {
+        self.active_vcs[node] & self.occ[node] & self.credit_ok[node] & !self.sa_gate[node]
+    }
+
+    /// Commits one switch grant: pops the flit, charges the downstream
+    /// credit, returns the upstream credit, and emits the flit directly
+    /// onto its output channel (or the ejection path). Direct emission is
+    /// state-identical to the oracle's collect-then-route scratch pass:
+    /// flits and credits land on disjoint FIFOs whose per-queue order
+    /// equals commit order either way, and active-set wakes are idempotent.
+    fn commit_grant(&mut self, node: usize, ip: usize, vc: u8, op: usize, out_vc: u8, now: u64) {
+        let idx = self.ivc(node, ip, vc as usize);
+        let (flit, _) = self.fifo_pop(node, idx);
+        let is_tail = flit.seq + 1 == self.pkt_flits[flit.pkt as usize];
+        if is_tail {
+            let o = self.ovc(node, op, out_vc as usize);
+            self.owner[o] = -1;
+            self.vc_state[idx] = VcState::Idle;
+            self.active_vcs[node] &= !(1u128 << (ip * self.nv + vc as usize));
+        }
+        let o = node * self.ovc_stride + op * self.nv + out_vc as usize;
+        debug_assert!(self.credits[o] > 0, "SA granted without a credit");
+        self.credits[o] -= 1;
+        if self.credits[o] == 0 {
+            self.credit_ok[node] &= !(1u128 << (ip * self.nv + vc as usize));
+        }
+        if ip < 4 {
+            let upstream = self.nbr[node][ip];
+            debug_assert!(upstream >= 0, "credit for a direction port implies a neighbor");
+            let ch = upstream as usize * 4 + OPP[ip];
+            let len = self.ch_credit_len[ch] as usize;
+            debug_assert!(len < 4, "credit ring overflow");
+            let pos = (self.ch_credit_head[ch] as usize + len) & 3;
+            self.ch_credit[ch * 4 + pos] = (now + 1, vc);
+            self.ch_credit_len[ch] = (len + 1) as u8;
+            self.credit_pending[upstream as usize] |= 1 << OPP[ip];
+            self.active.insert(upstream as usize);
+        }
+        if op < 4 {
+            let ch = node * 4 + op;
+            let len = self.ch_flit_len[ch] as usize;
+            debug_assert!(len < self.ch_cap, "channel ring overflow");
+            let pos = (self.ch_flit_head[ch] as usize + len) & (self.ch_cap - 1);
+            let due = now + self.node_flit_delay[node];
+            debug_assert!(due <= u32::MAX as u64, "cycle stamp overflows the packed u32");
+            self.ch_flit[ch * self.ch_cap + pos] =
+                ChFlit { pkt: flit.pkt, due: due as u32, seq: flit.seq, vc: out_vc };
+            self.ch_flit_len[ch] = (len + 1) as u16;
+            self.ch_total[ch] += 1;
+            self.flying += 1;
+            let neighbor = self.nbr[node][op];
+            debug_assert!(neighbor >= 0, "router checked the direction exists");
+            self.flit_pending[neighbor as usize] |= 1 << OPP[op];
+            self.active.insert(neighbor as usize);
+        } else {
+            debug_assert!(
+                self.eject_credits.back().is_none_or(|&(due, ..)| due <= now + 1),
+                "eject credit queue must stay due-ordered"
+            );
+            self.eject_credits.push_back((now + 1, node, op, out_vc));
+            if is_tail {
+                let row = flit.pkt as usize;
+                let mut header = self.pkts[row];
+                // The oracle's ejected header is the tail flit's copy: for
+                // multi-flit packets that copy still carries the
+                // injection-time routing fields (RC mutates only the head
+                // flit's copy), but a single-flit packet's tail IS its
+                // head, so the mutated fields are the right ones there.
+                if header.flits > 1 {
+                    (header.phase, header.via) = self.pkt_init[row];
+                }
+                let pkt = EjectedPacket { header, ejected: now };
+                self.stats.record_ejection(&pkt);
+                self.ejected[node].push_back(pkt);
+                self.pkt_free.push(flit.pkt);
+            }
+        }
+    }
+
+    /// Separable input-first (iSLIP) switch allocation for one node.
+    ///
+    /// Both separable stages are round-robin "first requester at or after
+    /// the pointer" picks, so each resolves with one rotate-and-scan over a
+    /// request bitmask ([`circ_first`]) instead of a pointer-offset loop.
+    fn switch_allocate_input_first(&mut self, node: NodeId, now: u64) {
+        let ready = self.sa_ready_mask(node);
+        if ready == 0 {
+            return;
+        }
+        let n_in = self.node_n_in[node] as usize;
+        let nv = self.nv;
+        let port_mask = (1u128 << nv) - 1;
+        // Phase 1: each input port nominates one ready VC (RR over VCs).
+        // `nom[ip]` holds the nominee, `op_in[op]` the inputs courting
+        // each output, `ops` which outputs saw any nomination at all.
+        let mut nom = [(0u8, 0u8); 32];
+        let mut op_in = [0u32; 32];
+        let mut ops: u32 = 0;
+        for (ip, nom_slot) in nom.iter_mut().enumerate().take(n_in) {
+            let port_ready = (ready >> (ip * nv) & port_mask) as u32;
+            if port_ready == 0 {
+                continue;
+            }
+            let ptr = self.sa_in_ptr[node * self.in_max + ip] as usize;
+            let vc = circ_first(port_ready, ptr, nv);
+            let idx = self.ivc(node, ip, vc);
+            let VcState::Active { out_port, out_vc, .. } = self.vc_state[idx] else {
+                unreachable!("ready lanes are Active");
+            };
+            *nom_slot = (vc as u8, out_vc);
+            op_in[out_port] |= 1 << ip;
+            ops |= 1 << out_port;
+        }
+        // Phase 2: each nominated output picks one courting input (RR over
+        // input ports); accepted grants advance both pointers. Ascending
+        // bit order equals the oracle's ascending output-port loop, and
+        // un-nominated outputs never advanced a pointer there either.
+        while ops != 0 {
+            let op = ops.trailing_zeros() as usize;
+            ops &= ops - 1;
+            let ptr = self.sa_out_ptr[node * self.out_max + op] as usize;
+            let winner = circ_first(op_in[op], ptr, n_in);
+            let (vc, out_vc) = nom[winner];
+            self.sa_out_arb_advance(node, op, winner, n_in);
+            self.sa_in_arb_advance(node, winner, vc as usize);
+            self.commit_grant(node, winner, vc, op, out_vc, now);
+        }
+    }
+
+    /// Separable output-first switch allocation for one node.
+    fn switch_allocate_output_first(&mut self, node: NodeId, now: u64) {
+        let n_in = self.node_n_in[node] as usize;
+        let n_out = self.node_n_out[node] as usize;
+        let ready = self.sa_ready_mask(node);
+        let mut grants = std::mem::take(&mut self.sa_grants);
+        for g in &mut grants {
+            g.clear();
+        }
+        if ready == 0 {
+            self.sa_grants = grants;
+            return;
+        }
+        // Ready lanes bucketed by requested output port, so each output's
+        // arbitration is a bit scan instead of a state-table sweep.
+        let base = node * self.ivc_stride;
+        let mut op_req = std::mem::take(&mut self.sa_op_req);
+        op_req[..n_out].fill(0);
+        let mut mask = ready;
+        while mask != 0 {
+            let bit = mask.trailing_zeros() as usize;
+            mask &= mask - 1;
+            let VcState::Active { out_port, .. } = self.vc_state[base + bit] else {
+                unreachable!("ready lanes are Active")
+            };
+            op_req[out_port] |= 1u128 << bit;
+        }
+        let port_mask = (1u128 << self.nv) - 1;
+        // Phase 1: each output grants one requesting (input, vc).
+        for (op, &req) in op_req.iter().enumerate().take(n_out) {
+            if req == 0 {
+                continue;
+            }
+            let ptr = self.sa_out_ptr[node * self.out_max + op] as usize;
+            let mut winner = usize::MAX;
+            for off in 0..n_in {
+                let ip = ptr + off;
+                let ip = if ip >= n_in { ip - n_in } else { ip };
+                if req >> (ip * self.nv) & port_mask != 0 {
+                    winner = ip;
+                    break;
+                }
+            }
+            debug_assert!(winner != usize::MAX, "a ready lane requested this output");
+            // Which VC of that input targets this output? The input's RR
+            // pointer decides, as in the oracle.
+            let ptr = self.sa_in_ptr[node * self.in_max + winner] as usize;
+            for off in 0..self.nv {
+                let vc = ptr + off;
+                let vc = if vc >= self.nv { vc - self.nv } else { vc };
+                if req & (1u128 << (winner * self.nv + vc)) != 0 {
+                    let VcState::Active { out_vc, .. } = self.vc_state[self.ivc(node, winner, vc)]
+                    else {
+                        unreachable!("ready lanes are Active")
+                    };
+                    grants[winner].push((vc as u8, op as u8, out_vc));
+                    break;
+                }
+            }
+        }
+        self.sa_op_req = op_req;
+        // Phase 2: each input accepts one grant (RR over its VCs).
+        for (ip, offers) in grants.iter().enumerate().take(n_in) {
+            if offers.is_empty() {
+                continue;
+            }
+            let ptr = self.sa_in_ptr[node * self.in_max + ip] as usize;
+            let mut pick = usize::MAX;
+            for off in 0..self.nv {
+                let vc = ptr + off;
+                let vc = if vc >= self.nv { vc - self.nv } else { vc };
+                if offers.iter().any(|&(v, _, _)| v as usize == vc) {
+                    pick = vc;
+                    break;
+                }
+            }
+            debug_assert!(pick != usize::MAX, "at least one grant");
+            let &(vc, op, out_vc) =
+                offers.iter().find(|&&(v, _, _)| v as usize == pick).expect("picked grant present");
+            self.sa_in_arb_advance(node, ip, vc as usize);
+            self.sa_out_arb_advance(node, op as usize, ip, n_in);
+            self.commit_grant(node, ip, vc, op as usize, out_vc, now);
+        }
+        self.sa_grants = grants;
+    }
+
+    #[inline(always)]
+    fn sa_in_arb_advance(&mut self, node: usize, ip: usize, winner_vc: usize) {
+        self.sa_in_ptr[node * self.in_max + ip] = ((winner_vc + 1) % self.nv) as u8;
+    }
+
+    #[inline(always)]
+    fn sa_out_arb_advance(&mut self, node: usize, op: usize, winner_ip: usize, n_in: usize) {
+        self.sa_out_ptr[node * self.out_max + op] = ((winner_ip + 1) % n_in) as u8;
+    }
+
+    /// Router phase for one node: RC, VA, SA with direct flit/credit
+    /// emission. Mirrors `Network::step_router_node` + `Router::step`.
+    fn step_router_node(&mut self, node: NodeId, now: u64) {
+        // Nothing buffered means no stage can progress or move a pointer:
+        // RC/VA candidates are buffered lanes, and SA readiness requires
+        // occupancy even for lanes still owning a downstream VC.
+        if self.node_occ[node] == 0 {
+            return;
+        }
+        self.sa_gate[node] = 0;
+        self.route_compute(node);
+        self.vc_allocate(node, now);
+        match self.cfg.allocator {
+            crate::config::AllocatorKind::InputFirst => self.switch_allocate_input_first(node, now),
+            crate::config::AllocatorKind::OutputFirst => {
+                self.switch_allocate_output_first(node, now)
+            }
+        }
+    }
+
+    /// `true` when the node can do nothing this cycle or any future cycle
+    /// without a new wake event. Mirrors `Network::node_idle`.
+    fn node_idle(&self, node: NodeId) -> bool {
+        // The pending masks are exact mirrors of ring non-emptiness, so
+        // this equals the oracle's eight-ring probe.
+        self.node_occ[node] == 0
+            && self.ni_busy[node] == 0
+            && self.flit_pending[node] == 0
+            && self.credit_pending[node] == 0
+    }
+
+    /// Runs one of the [`ARENA_PHASES`] sub-phases of a cycle. Calling
+    /// phases `0..ARENA_PHASES` in order is exactly one [`Tick::tick`].
+    ///
+    /// The whole cycle is one fused sweep — each active node runs
+    /// deliver, NI, router and retire back to back, so its masks, FIFO
+    /// lanes and ring heads are touched once per cycle instead of once
+    /// per stage. Fusing is bit-identical to the oracle's four global
+    /// stage sweeps because every cross-node effect a router step emits
+    /// travels through a ring stamped `due >= now + 1` (invisible to any
+    /// same-cycle pop), a pending/active-set insert (idempotent, and a
+    /// freshly woken node's deliver/NI/router are all no-ops this cycle),
+    /// or the due-ordered eject-credit queue (drained once up front, and
+    /// appended to in the same ascending node order the phased router
+    /// sweep used). A node retired before an upstream neighbor's router
+    /// step wakes it is re-inserted by that step's push, leaving the
+    /// same active set at cycle end.
+    pub fn run_phase(&mut self, phase: usize) {
+        let now = self.cycle;
+        match phase {
+            0 => {
+                self.return_eject_credits(now);
+                let mut i = 0;
+                while let Some(node) = self.active.next_from(i) {
+                    self.deliver_node(node, now);
+                    self.stream_ni_node(node, now);
+                    self.step_router_node(node, now);
+                    if self.node_idle(node) {
+                        self.active.remove(node);
+                    }
+                    i = node + 1;
+                }
+                self.stats.cycles += 1;
+                self.cycle += 1;
+            }
+            _ => panic!("arena cycle has {ARENA_PHASES} phases, got {phase}"),
+        }
+    }
+}
+
+impl Tick for ArenaNetwork {
+    fn tick(&mut self) {
+        for p in 0..ARENA_PHASES {
+            self.run_phase(p);
+        }
+    }
+}
+
+impl Interconnect for ArenaNetwork {
+    fn try_inject(&mut self, node: NodeId, mut packet: Packet) -> Result<(), Packet> {
+        self.stats.inject_attempts_by_node[node] += 1;
+        let ports = self.node_n_inject[node] as usize;
+        let base = node * (self.in_max - 4);
+        let start = self.ni_cursor[node] as usize;
+        let free = (0..ports).map(|i| (start + i) % ports).find(|&p| self.ni[base + p].is_none());
+        let Some(port) = free else {
+            self.stats.inject_blocked_by_node[node] += 1;
+            return Err(packet);
+        };
+        self.ni_cursor[node] = ((port + 1) % ports) as u32;
+
+        let hdr = &mut packet.header;
+        let (phase, via) =
+            routing::plan_injection(self.cfg.routing, &self.cfg.mesh, node, hdr.dst, &mut self.rng)
+                .expect("workload sent a packet between unroutable checkerboard endpoints");
+        hdr.src = node;
+        hdr.phase = phase;
+        hdr.via = via;
+        hdr.id = self.next_pkt_id;
+        self.next_pkt_id += 1;
+        hdr.flits = Packet { header: *hdr }.flits_at_width(self.cfg.channel_bytes);
+        if hdr.created == PacketHeader::CREATED_UNSET {
+            hdr.created = self.cycle;
+        }
+        self.stats.injected_flits_by_node[node] += hdr.flits as u64;
+        let row = match self.pkt_free.pop() {
+            Some(r) => {
+                self.pkts[r as usize] = *hdr;
+                self.pkt_init[r as usize] = (hdr.phase, hdr.via);
+                self.pkt_flits[r as usize] = hdr.flits;
+                r
+            }
+            None => {
+                self.pkts.push(*hdr);
+                self.pkt_init.push((hdr.phase, hdr.via));
+                self.pkt_flits.push(hdr.flits);
+                (self.pkts.len() - 1) as u32
+            }
+        };
+        self.ni[base + port] = Some(NiPacket { pkt: row, next_seq: 0, flits: hdr.flits, vc: None });
+        self.ni_busy[node] += 1;
+        self.ni_pending += hdr.flits as usize;
+        self.active.insert(node);
+        Ok(())
+    }
+
+    fn pop(&mut self, node: NodeId) -> Option<EjectedPacket> {
+        self.ejected[node].pop_front()
+    }
+
+    fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    fn stats(&self) -> NetStats {
+        self.stats.clone()
+    }
+
+    fn in_flight(&self) -> usize {
+        self.buffered + self.flying + self.ni_pending
+    }
+
+    fn flit_hops(&self) -> u64 {
+        self.ch_total.iter().sum()
+    }
+
+    fn enable_telemetry(&mut self, _cfg: TelemetryConfig) {
+        panic!(
+            "telemetry requires the per-cell oracle engine (Network); \
+             the harness routes telemetry cells there automatically"
+        );
+    }
+
+    fn phase_count(&self) -> usize {
+        ARENA_PHASES
+    }
+
+    fn tick_phase(&mut self, phase: usize) {
+        self.run_phase(phase);
+    }
+}
+
+/// Two parallel channel-sliced arena networks (request + reply), the
+/// engine-level twin of [`DoubleNetwork`](crate::network::DoubleNetwork).
+pub struct ArenaDoubleNetwork {
+    request: ArenaNetwork,
+    reply: ArenaNetwork,
+}
+
+impl ArenaDoubleNetwork {
+    /// Builds a double network from a per-subnetwork configuration; the
+    /// reply slice derives its seed exactly like `DoubleNetwork::new`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration declares more than one class per
+    /// subnetwork or fails validation.
+    pub fn new(sub_cfg: NetworkConfig) -> Self {
+        assert_eq!(sub_cfg.vcs.classes, 1, "double network slices carry one class each");
+        let mut reply_cfg = sub_cfg.clone();
+        reply_cfg.seed = sub_cfg.seed.wrapping_add(0x9e37_79b9);
+        ArenaDoubleNetwork {
+            request: ArenaNetwork::new(sub_cfg),
+            reply: ArenaNetwork::new(reply_cfg),
+        }
+    }
+
+    /// Derives a double network from a single-network configuration
+    /// (see `DoubleNetwork::from_single`).
+    pub fn from_single(cfg: &NetworkConfig) -> Self {
+        ArenaDoubleNetwork::new(cfg.slice())
+    }
+
+    /// The request subnetwork.
+    pub fn request_net(&self) -> &ArenaNetwork {
+        &self.request
+    }
+
+    /// The reply subnetwork.
+    pub fn reply_net(&self) -> &ArenaNetwork {
+        &self.reply
+    }
+}
+
+impl Tick for ArenaDoubleNetwork {
+    fn tick(&mut self) {
+        self.request.tick();
+        self.reply.tick();
+    }
+}
+
+impl Interconnect for ArenaDoubleNetwork {
+    fn try_inject(&mut self, node: NodeId, packet: Packet) -> Result<(), Packet> {
+        match packet.header.class {
+            PacketClass::Request => self.request.try_inject(node, packet),
+            PacketClass::Reply => self.reply.try_inject(node, packet),
+        }
+    }
+
+    fn pop(&mut self, node: NodeId) -> Option<EjectedPacket> {
+        self.request.pop(node).or_else(|| self.reply.pop(node))
+    }
+
+    fn cycle(&self) -> u64 {
+        self.request.cycle
+    }
+
+    fn stats(&self) -> NetStats {
+        debug_assert_eq!(
+            self.request.stats.cycles, self.reply.stats.cycles,
+            "double-network slices must share one clock"
+        );
+        let mut s = self.request.stats();
+        s.merge_parallel(&self.reply.stats);
+        s
+    }
+
+    fn in_flight(&self) -> usize {
+        self.request.in_flight() + self.reply.in_flight()
+    }
+
+    fn flit_hops(&self) -> u64 {
+        self.request.flit_hops() + self.reply.flit_hops()
+    }
+
+    fn enable_telemetry(&mut self, cfg: TelemetryConfig) {
+        self.request.enable_telemetry(cfg);
+    }
+
+    fn phase_count(&self) -> usize {
+        2 * ARENA_PHASES
+    }
+
+    /// Phases `0..ARENA_PHASES` advance the request slice, the rest the
+    /// reply slice — the same slice order as `DoubleNetwork::tick`.
+    fn tick_phase(&mut self, phase: usize) {
+        if phase < ARENA_PHASES {
+            self.request.run_phase(phase);
+        } else {
+            self.reply.run_phase(phase - ARENA_PHASES);
+        }
+    }
+}
+
+/// B same-shape cells advanced in lockstep, cell-major per phase: phase 0
+/// of every cell, then phase 1 of every cell, and so on. Since cells share
+/// no state, this is observationally identical to ticking each cell alone —
+/// it only improves locality by keeping one phase's code hot across cells.
+pub struct NetBatch<N: Interconnect> {
+    cells: Vec<N>,
+}
+
+impl<N: Interconnect> NetBatch<N> {
+    /// Stacks `cells` into a lockstep batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cells` is empty.
+    pub fn new(cells: Vec<N>) -> Self {
+        assert!(!cells.is_empty(), "a batch needs at least one cell");
+        NetBatch { cells }
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// `true` if the batch holds no cells (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Immutable access to cell `i`.
+    pub fn cell(&self, i: usize) -> &N {
+        &self.cells[i]
+    }
+
+    /// Mutable access to cell `i` (for injection and pops).
+    pub fn cell_mut(&mut self, i: usize) -> &mut N {
+        &mut self.cells[i]
+    }
+
+    /// Consumes the batch, returning the cells.
+    pub fn into_cells(self) -> Vec<N> {
+        self.cells
+    }
+}
+
+impl<N: Interconnect> Tick for NetBatch<N> {
+    /// Advances every cell by one cycle, interleaved cell-major per phase.
+    fn tick(&mut self) {
+        let phases = self.cells.iter().map(|c| c.phase_count()).max().unwrap_or(1);
+        for p in 0..phases {
+            for cell in &mut self.cells {
+                if p < cell.phase_count() {
+                    cell.tick_phase(p);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::Network;
+
+    /// Drives the same deterministic traffic into two engines and asserts
+    /// identical per-cycle observables.
+    fn assert_twin(cfg: NetworkConfig, cycles: u64) {
+        let n = cfg.mesh.len();
+        let mut oracle = Network::new(cfg.clone());
+        let mut arena = ArenaNetwork::new(cfg);
+        for i in 0..cycles {
+            for lane in 0..2u64 {
+                let t = i * 2 + lane;
+                let src = (t as usize * 7 + 1) % n;
+                let dst = (t as usize * 13 + 5) % n;
+                if src != dst {
+                    let p = if t % 3 == 0 {
+                        Packet::reply(src, dst, 64, t)
+                    } else {
+                        Packet::request(src, dst, 8, t)
+                    };
+                    let a = oracle.try_inject(src, p);
+                    let b = arena.try_inject(src, p);
+                    assert_eq!(a.is_ok(), b.is_ok(), "inject diverged at cycle {i}");
+                }
+            }
+            oracle.tick();
+            arena.tick();
+            assert_eq!(oracle.in_flight(), arena.in_flight(), "in_flight diverged at cycle {i}");
+            for node in 0..n {
+                loop {
+                    let a = oracle.pop(node);
+                    let b = arena.pop(node);
+                    assert_eq!(a, b, "ejection diverged at node {node} cycle {i}");
+                    if a.is_none() {
+                        break;
+                    }
+                }
+            }
+        }
+        assert_eq!(oracle.stats(), arena.stats());
+        assert_eq!(oracle.flit_hops(), arena.flit_hops());
+        assert_eq!(oracle.link_loads(), arena.link_loads());
+    }
+
+    #[test]
+    fn arena_matches_oracle_on_baseline_mesh() {
+        assert_twin(NetworkConfig::baseline_mesh(4), 300);
+    }
+
+    #[test]
+    fn arena_matches_oracle_on_checkerboard() {
+        assert_twin(NetworkConfig::checkerboard_mesh(6), 300);
+    }
+
+    #[test]
+    fn arena_matches_oracle_output_first() {
+        let mut cfg = NetworkConfig::baseline_mesh(4);
+        cfg.allocator = crate::config::AllocatorKind::OutputFirst;
+        assert_twin(cfg, 300);
+    }
+
+    #[test]
+    fn arena_matches_oracle_multiport_sliced() {
+        let cfg = NetworkConfig::checkerboard_mesh(6);
+        let mut sliced = cfg.slice();
+        sliced.mc_inject_ports = 4;
+        assert_twin(sliced, 200);
+    }
+
+    #[test]
+    fn phase_ticking_equals_whole_ticking() {
+        let cfg = NetworkConfig::baseline_mesh(4);
+        let mut whole = ArenaNetwork::new(cfg.clone());
+        let mut phased = ArenaNetwork::new(cfg);
+        for i in 0..200u64 {
+            let src = (i as usize * 5) % 16;
+            let dst = (src + 3) % 16;
+            let p = Packet::request(src, dst, 64, i);
+            let _ = whole.try_inject(src, p);
+            let _ = phased.try_inject(src, p);
+            whole.tick();
+            for ph in 0..phased.phase_count() {
+                phased.tick_phase(ph);
+            }
+            assert_eq!(whole.in_flight(), phased.in_flight());
+            for node in 0..16 {
+                loop {
+                    let a = whole.pop(node);
+                    assert_eq!(a, phased.pop(node));
+                    if a.is_none() {
+                        break;
+                    }
+                }
+            }
+        }
+        assert_eq!(whole.stats(), phased.stats());
+    }
+
+    #[test]
+    fn batch_cells_match_solo_runs() {
+        let mk = |seed: u64| {
+            let mut cfg = NetworkConfig::baseline_mesh(4);
+            cfg.seed = seed;
+            ArenaDoubleNetwork::from_single(&cfg)
+        };
+        let drive = |net: &mut ArenaDoubleNetwork, salt: u64, i: u64| {
+            let t = i + salt;
+            let src = (t as usize * 7) % 16;
+            let dst = (t as usize * 11 + 1) % 16;
+            if src != dst {
+                let _ = net.try_inject(src, Packet::request(src, dst, 8, t));
+                let _ = net.try_inject(dst, Packet::reply(dst, src, 64, t));
+            }
+        };
+        // Solo runs.
+        let solo: Vec<NetStats> = (0..3u64)
+            .map(|c| {
+                let mut net = mk(c);
+                for i in 0..250 {
+                    drive(&mut net, c * 1000, i);
+                    net.tick();
+                    for node in 0..16 {
+                        while net.pop(node).is_some() {}
+                    }
+                }
+                net.stats()
+            })
+            .collect();
+        // Batched lockstep.
+        let mut batch = NetBatch::new((0..3u64).map(mk).collect());
+        for i in 0..250 {
+            for c in 0..3u64 {
+                drive(batch.cell_mut(c as usize), c * 1000, i);
+            }
+            batch.tick();
+            for c in 0..3 {
+                for node in 0..16 {
+                    while batch.cell_mut(c).pop(node).is_some() {}
+                }
+            }
+        }
+        for (c, want) in solo.iter().enumerate() {
+            assert_eq!(&batch.cell(c).stats(), want, "cell {c} diverged in batch");
+        }
+    }
+}

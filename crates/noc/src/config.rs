@@ -339,6 +339,25 @@ impl NetworkConfig {
         sub
     }
 
+    /// FNV-1a 64-bit hash (lower-case hex) of the configuration with the
+    /// seed zeroed out — the *shape* of the network. Two configurations
+    /// with equal shape fingerprints build identically-dimensioned
+    /// simulator state (same topology, VC layout, buffer depths, port
+    /// counts, timing) and may therefore run lockstep in one batch; the
+    /// seed is excluded precisely because batched cells are expected to
+    /// differ only in their RNG streams and traffic.
+    pub fn shape_fingerprint(&self) -> String {
+        let mut shape = self.clone();
+        shape.seed = 0;
+        let json = serde_json::to_string(&shape).expect("config serializes");
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in json.as_bytes() {
+            hash ^= u64::from(*b);
+            hash = hash.wrapping_mul(0x100_0000_01b3);
+        }
+        format!("{hash:016x}")
+    }
+
     /// Convenience: the MC placement strategy corresponding to the current
     /// `mc_nodes`, if it matches a named one.
     pub fn placement(&self) -> Option<Placement> {

@@ -60,10 +60,37 @@ pub trait Interconnect: Tick {
     /// every packet takes the same path at the same cycle.
     fn enable_telemetry(&mut self, _cfg: TelemetryConfig) {}
 
-    /// Snapshots of every physical network's telemetry: one report for a
-    /// single mesh, two (request + reply) for a double network, none for
-    /// ideal networks or when telemetry was never enabled.
+    /// Appends snapshots of every physical network's telemetry into a
+    /// caller-provided buffer: one report for a single mesh, two
+    /// (request + reply) for a double network, none for ideal networks
+    /// or when telemetry was never enabled. The buffer is *not* cleared,
+    /// so callers can reuse one `Vec` across reads without reallocating.
+    fn telemetry_reports_into(&self, _out: &mut Vec<TelemetryReport>) {}
+
+    /// Convenience wrapper over [`Interconnect::telemetry_reports_into`]
+    /// that allocates a fresh `Vec`. Hot paths should reuse a buffer via
+    /// the `_into` form instead.
     fn telemetry_reports(&self) -> Vec<TelemetryReport> {
-        Vec::new()
+        let mut out = Vec::new();
+        self.telemetry_reports_into(&mut out);
+        out
+    }
+
+    /// Number of sub-phases one [`Tick::tick`] splits into. Engines that
+    /// support phase-interleaved batching (the arena) report their phase
+    /// count; monolithic engines report 1.
+    fn phase_count(&self) -> usize {
+        1
+    }
+
+    /// Runs one sub-phase of a cycle. Calling phases `0..phase_count()`
+    /// in order is exactly one [`Tick::tick`]; a batch driver interleaves
+    /// the same phase across cells (cell-major) for cache density. The
+    /// default maps phase 0 to a whole tick so monolithic engines work
+    /// under a phase-driving caller unchanged.
+    fn tick_phase(&mut self, phase: usize) {
+        if phase == 0 {
+            self.tick();
+        }
     }
 }

@@ -47,6 +47,7 @@
 
 pub mod activeset;
 pub mod arbiter;
+pub mod arena;
 pub mod audit;
 pub mod buffer;
 pub mod channel;
@@ -66,6 +67,7 @@ pub mod topology;
 pub mod types;
 
 pub use activeset::ActiveSet;
+pub use arena::{ArenaDoubleNetwork, ArenaNetwork, NetBatch, ARENA_PHASES};
 pub use config::{AllocatorKind, NetworkConfig, RouterTiming, RoutingKind, VcLayout};
 pub use ideal::{BandwidthLimitedInterconnect, PerfectInterconnect};
 pub use interconnect::Interconnect;

@@ -146,6 +146,14 @@ impl Network {
     /// utilized link).
     pub fn link_loads(&self) -> Vec<(NodeId, Direction, u64)> {
         let mut out = Vec::new();
+        self.link_loads_into(&mut out);
+        out
+    }
+
+    /// Writes per-link traffic into a caller-provided buffer (cleared
+    /// first), so hot read paths can reuse one allocation across calls.
+    pub fn link_loads_into(&self, out: &mut Vec<(NodeId, Direction, u64)>) {
+        out.clear();
         for node in 0..self.cfg.mesh.len() {
             for dir in Direction::ALL {
                 if self.cfg.mesh.neighbor(node, dir).is_some() {
@@ -153,7 +161,6 @@ impl Network {
                 }
             }
         }
-        out
     }
 
     /// Arms the observability layer: latency histograms in the stats,
@@ -526,8 +533,8 @@ impl Interconnect for Network {
         self.arm_telemetry(cfg);
     }
 
-    fn telemetry_reports(&self) -> Vec<TelemetryReport> {
-        self.telemetry_report("net").into_iter().collect()
+    fn telemetry_reports_into(&self, out: &mut Vec<TelemetryReport>) {
+        out.extend(self.telemetry_report("net"));
     }
 }
 
@@ -646,12 +653,9 @@ impl Interconnect for DoubleNetwork {
         self.reply.arm_telemetry(cfg);
     }
 
-    fn telemetry_reports(&self) -> Vec<TelemetryReport> {
-        self.request
-            .telemetry_report("request")
-            .into_iter()
-            .chain(self.reply.telemetry_report("reply"))
-            .collect()
+    fn telemetry_reports_into(&self, out: &mut Vec<TelemetryReport>) {
+        out.extend(self.request.telemetry_report("request"));
+        out.extend(self.reply.telemetry_report("reply"));
     }
 }
 

@@ -1,0 +1,151 @@
+//! The batched arena engine must be observationally identical to the
+//! per-cell oracle on *every* supported configuration, not just the
+//! presets the experiments use: random legal configs, random seeds,
+//! random batch widths. Each batch cell is compared against a solo
+//! oracle [`Network`] fed the exact same traffic — same ejection
+//! sequence, same cycle count, same [`NetStats`].
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use tenoc_noc::{
+    AllocatorKind, ArenaNetwork, Interconnect, NetBatch, NetStats, Network, NetworkConfig, Packet,
+    Tick,
+};
+
+/// One observed ejection: (cycle, node, packet id, tag).
+type Ejection = (u64, usize, u64, u64);
+
+/// A random legal configuration the arena engine supports. Covers both
+/// mesh families (full-router DOR and checkerboard half-router), both
+/// allocator organizations, multi-port MC routers, and the depth /
+/// pipeline ranges the paper's design space sweeps.
+fn legal_cfg() -> impl Strategy<Value = NetworkConfig> {
+    (
+        prop::sample::select(vec![4usize, 6]),
+        any::<bool>(),
+        prop::sample::select(vec![2usize, 4, 8]),
+        prop::sample::select(vec![1u32, 4]),
+        prop::sample::select(vec![AllocatorKind::InputFirst, AllocatorKind::OutputFirst]),
+        prop::sample::select(vec![1usize, 2]),
+        prop::sample::select(vec![1usize, 2]),
+        any::<u64>(),
+    )
+        .prop_map(|(k, checker, depth, stages, alloc, mc_inj, mc_ej, seed)| {
+            let mut cfg = if checker {
+                NetworkConfig::checkerboard_mesh(k)
+            } else {
+                NetworkConfig::baseline_mesh(k)
+            };
+            cfg.vc_depth = depth;
+            cfg.router_stages = stages;
+            cfg.allocator = alloc;
+            cfg.mc_inject_ports = mc_inj;
+            cfg.mc_eject_ports = mc_ej;
+            cfg.seed = seed;
+            cfg
+        })
+}
+
+/// Deterministic many-to-few traffic for cell `cell`: core→MC requests
+/// and MC→core replies (legal under every routing kind, including
+/// checkerboard's placement restrictions). Returns this cycle's
+/// injection attempts.
+fn offered(
+    cfg: &NetworkConfig,
+    cell: usize,
+    rng: &mut SmallRng,
+    tag: &mut u64,
+) -> Vec<(usize, Packet)> {
+    let cores: Vec<usize> = (0..cfg.mesh.len()).filter(|n| !cfg.mc_nodes.contains(n)).collect();
+    let mut out = Vec::new();
+    for _ in 0..2 {
+        if rng.gen_bool(0.4) {
+            let t = *tag | ((cell as u64) << 32);
+            *tag += 1;
+            let core = cores[rng.gen_range(0..cores.len())];
+            let mc = cfg.mc_nodes[rng.gen_range(0..cfg.mc_nodes.len())];
+            let p = if rng.gen_bool(0.5) {
+                Packet::request(core, mc, 8, t)
+            } else {
+                Packet::reply(mc, core, 64, t)
+            };
+            out.push((p.header.src, p));
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+    // Random legal configs, B ∈ {2, 4, 8}: every cell of the lockstep
+    // batch ejects the same packets at the same cycles with the same
+    // final statistics as a solo oracle run fed identical traffic.
+    #[test]
+    fn batched_cells_match_solo_oracles(
+        cfg in legal_cfg(),
+        b in prop::sample::select(vec![2usize, 4, 8]),
+        traffic_seed in any::<u64>(),
+    ) {
+        prop_assert!(cfg.validate().is_ok() && ArenaNetwork::supports(&cfg));
+        let cycles = 100u64;
+        let n = cfg.mesh.len();
+        // Seed-varied same-shape cells, like the harness batches them.
+        let cell_cfg = |i: usize| {
+            let mut c = cfg.clone();
+            c.seed = cfg.seed.wrapping_add(i as u64);
+            c
+        };
+
+        let run_oracle = |i: usize| -> (Vec<Ejection>, NetStats) {
+            let mut net = Network::new(cell_cfg(i));
+            let mut rng = SmallRng::seed_from_u64(traffic_seed ^ i as u64);
+            let mut tag = 0u64;
+            let mut trace = Vec::new();
+            for c in 0..cycles {
+                for (src, p) in offered(&cfg, i, &mut rng, &mut tag) {
+                    let _ = net.try_inject(src, p);
+                }
+                net.tick();
+                for node in 0..n {
+                    while let Some(e) = net.pop(node) {
+                        trace.push((c, node, e.header.id, e.header.tag));
+                    }
+                }
+            }
+            (trace, net.stats())
+        };
+
+        let mut batch = NetBatch::new((0..b).map(|i| ArenaNetwork::new(cell_cfg(i))).collect());
+        let mut rngs: Vec<SmallRng> =
+            (0..b).map(|i| SmallRng::seed_from_u64(traffic_seed ^ i as u64)).collect();
+        let mut tags = vec![0u64; b];
+        let mut traces: Vec<Vec<Ejection>> = vec![Vec::new(); b];
+        for c in 0..cycles {
+            for i in 0..b {
+                for (src, p) in offered(&cfg, i, &mut rngs[i], &mut tags[i]) {
+                    let _ = batch.cell_mut(i).try_inject(src, p);
+                }
+            }
+            batch.tick();
+            for (i, trace) in traces.iter_mut().enumerate() {
+                for node in 0..n {
+                    while let Some(e) = batch.cell_mut(i).pop(node) {
+                        trace.push((c, node, e.header.id, e.header.tag));
+                    }
+                }
+            }
+        }
+
+        let mut saw_traffic = false;
+        for (i, trace) in traces.iter().enumerate() {
+            let (oracle_trace, oracle_stats) = run_oracle(i);
+            saw_traffic |= !oracle_trace.is_empty();
+            prop_assert_eq!(trace, &oracle_trace, "ejection trace diverged in cell {}", i);
+            let cell_stats = batch.cell(i).stats();
+            prop_assert_eq!(cell_stats.cycles, cycles, "cell {} cycle count", i);
+            prop_assert_eq!(cell_stats, oracle_stats, "NetStats diverged in cell {}", i);
+        }
+        prop_assert!(saw_traffic, "the random traffic should actually exercise the fabric");
+    }
+}

@@ -97,8 +97,16 @@ pub struct ShaderCore {
     warps: Vec<Warp>,
     rr: usize,
     issue_free_at: u64,
+    /// No warp can become issue-eligible before this cycle (the earliest
+    /// `WaitingDep` expiry found by a failed scheduler scan; `u64::MAX`
+    /// when only a fill can wake the core). Lets idle cycles skip the
+    /// warp scan; cleared by [`ShaderCore::push_fill`], the only other
+    /// event that changes readiness.
+    idle_until: u64,
     l1: Cache,
     mshrs: MshrTable,
+    /// Scratch for MSHR completions (reused across fills).
+    fill_targets: Vec<u64>,
     out: VecDeque<MemRequest>,
     stats: CoreStats,
     done: bool,
@@ -119,9 +127,11 @@ impl ShaderCore {
             id,
             l1: Cache::new(cfg.l1),
             mshrs: MshrTable::new(cfg.mshrs, cfg.mshr_targets),
+            fill_targets: Vec::new(),
             warps,
             rr: 0,
             issue_free_at: 0,
+            idle_until: 0,
             out: VecDeque::new(),
             stats: CoreStats::default(),
             done: spec.total_warp_insts() == 0,
@@ -187,7 +197,9 @@ impl ShaderCore {
     ///
     /// Panics if no fetch for `line_addr` is outstanding.
     pub fn push_fill(&mut self, line_addr: u64) {
-        let targets = self.mshrs.complete(line_addr);
+        self.idle_until = 0;
+        let mut targets = std::mem::take(&mut self.fill_targets);
+        self.mshrs.complete_into(line_addr, &mut targets);
         if let Some(ev) = self.l1.fill(line_addr) {
             if ev.dirty {
                 self.out.push_back(MemRequest {
@@ -199,9 +211,10 @@ impl ShaderCore {
             }
         }
         let limit = self.dep_limit();
-        for t in targets {
+        for &t in &targets {
             self.warps[t as usize].complete_load(limit);
         }
+        self.fill_targets = targets;
     }
 
     /// Advances the core by one core-clock cycle.
@@ -211,6 +224,12 @@ impl ShaderCore {
         }
         self.stats.cycles += 1;
         if now < self.issue_free_at {
+            return;
+        }
+        // A previous failed scan proved no warp wakes before `idle_until`
+        // (fills reset it): this cycle is idle without re-scanning.
+        if now < self.idle_until {
+            self.stats.idle_issue_cycles += 1;
             return;
         }
         let n = self.warps.len();
@@ -235,6 +254,18 @@ impl ShaderCore {
                 self.done = true;
             } else {
                 self.stats.idle_issue_cycles += 1;
+                // Readiness only changes with time (WaitingDep expiry) or
+                // a fill (which clears this): sleep until the earliest
+                // dependency expires.
+                self.idle_until = self
+                    .warps
+                    .iter()
+                    .filter_map(|w| match w.state {
+                        WarpState::WaitingDep(until) => Some(until),
+                        _ => None,
+                    })
+                    .min()
+                    .unwrap_or(u64::MAX);
             }
             return;
         };

@@ -4,13 +4,13 @@
 //! tenoc run --benchmark RD --preset thr-eff [--scale 0.2] [--json]
 //! tenoc suite --preset baseline [--scale 0.12] [--json]
 //! tenoc sweep [--presets baseline,thr-eff|all] [--benchmarks HIS,MM|smoke|all]
-//!             [--scale 0.12] [--seed N] [--jobs N] [--out FILE] [--telemetry]
-//!             [--tiny] [--golden FILE --check|--bless]
+//!             [--scale 0.12] [--seed N] [--jobs N] [--batch B] [--out FILE]
+//!             [--telemetry] [--tiny] [--golden FILE --check|--bless]
 //! tenoc trace --preset thr-eff [--benchmark RD] [--scale F] [--out DIR]
 //!             [--flight-cap N] [--node N] [--class request|reply]
 //! tenoc audit [--k N] [--out FILE] [--json] [--golden FILE --check|--bless]
 //! tenoc openloop --preset cp-cr-2p [--hotspot] [--rates 0.01..0.12]
-//! tenoc engine-bench [--scale F] [--out FILE]
+//! tenoc engine-bench [--scale F] [--batch N] [--out FILE]
 //! tenoc area
 //! tenoc classify [--scale 0.12]
 //! tenoc list
@@ -69,7 +69,7 @@ fn usage() -> ExitCode {
            run       --benchmark <ABBR> --preset <NAME> [--scale F] [--json]\n\
            suite     --preset <NAME> [--scale F] [--json]\n\
            sweep     [--presets A,B|all] [--benchmarks X,Y|smoke|all] [--scale F]\n\
-                     [--seed N] [--jobs N] [--out FILE] [--telemetry]\n\
+                     [--seed N] [--jobs N] [--batch B] [--out FILE] [--telemetry]\n\
                      [--tiny] [--golden FILE --check|--bless]\n\
            trace     --preset <NAME> [--benchmark <ABBR>] [--scale F] [--out DIR]\n\
                      [--flight-cap N] [--node N] [--class request|reply]\n\
@@ -78,7 +78,7 @@ fn usage() -> ExitCode {
            audit     [--k N] [--out FILE] [--json] [--golden FILE --check|--bless]\n\
                      (static config-space audit: verify, bound, price, rank)\n\
            openloop  --preset <NAME> [--hotspot] [--rate F]\n\
-           engine-bench [--scale F] [--out FILE] (simulator speed probe)\n\
+           engine-bench [--scale F] [--batch N] [--out FILE] (simulator speed probe)\n\
            area      (Table VI summary)\n\
            classify  [--scale F] (measured LL/LH/HH classes)\n\
            list      (benchmarks and presets)\n\
@@ -339,10 +339,65 @@ fn cmd_trace(flags: &HashMap<String, String>, scale: f64) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Today's UTC date as `YYYY-MM-DD` (Hinnant's civil-from-days; no
+/// calendar dependency).
+fn utc_date_string() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let z = (secs / 86400) as i64 + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097) as u64;
+    let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146_096) / 365;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = yoe as i64 + era * 400 + i64::from(m <= 2);
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+/// Pulls the entry list out of an existing trajectory file's
+/// `"history":[...]` array, so each run appends rather than overwrites.
+/// Entries are flat objects (no nested arrays), so the array ends at the
+/// first `]` after the key.
+fn prior_history(path: &str) -> Vec<String> {
+    let Ok(text) = std::fs::read_to_string(path) else { return Vec::new() };
+    let Some(start) = text.find("\"history\":[") else { return Vec::new() };
+    let body = &text[start + "\"history\":[".len()..];
+    let Some(end) = body.find(']') else { return Vec::new() };
+    let body = &body[..end];
+    let mut entries = Vec::new();
+    let mut depth = 0usize;
+    let mut current = String::new();
+    for ch in body.chars() {
+        match ch {
+            '{' => {
+                depth += 1;
+                current.push(ch);
+            }
+            '}' => {
+                depth -= 1;
+                current.push(ch);
+                if depth == 0 {
+                    entries.push(std::mem::take(&mut current));
+                }
+            }
+            _ if depth > 0 => current.push(ch),
+            _ => {}
+        }
+    }
+    entries
+}
+
 /// `tenoc engine-bench`: measure how fast the simulator itself runs —
 /// simulated interconnect cycles per wall-clock second — on the paper's
 /// combined throughput-effective design point (fig. 20) driving the RD
-/// benchmark, and emit the result as `BENCH_engine.json`.
+/// benchmark. With `--batch N`, additionally runs N seed-varied copies of
+/// the probe in lockstep on the arena engine and reports the aggregate
+/// rate. Each run appends a dated entry to the output file's `history`
+/// array, so `BENCH_engine.json` carries the perf trajectory across PRs.
 fn cmd_engine_bench(flags: &HashMap<String, String>) -> ExitCode {
     // Pre-refactor engine speed on the identical probe (thr-eff / RD at
     // scale 1.0, one job): 187646 simulated icnt cycles in 23.26 s of
@@ -352,21 +407,85 @@ fn cmd_engine_bench(flags: &HashMap<String, String>) -> ExitCode {
     const BASELINE_CYCLES_PER_SEC: f64 = 8067.0;
 
     let scale = flags.get("scale").and_then(|s| s.parse::<f64>().ok()).unwrap_or(1.0);
+    let batch = flags.get("batch").and_then(|b| b.parse::<usize>().ok()).unwrap_or(1).max(1);
     let Some(spec) = by_name("RD") else {
         eprintln!("engine-bench: RD benchmark missing");
         return ExitCode::FAILURE;
     };
     let preset = Preset::ThroughputEffective;
-    eprintln!("engine-bench: {} on {} at scale {scale}", spec.name, preset.label());
+    eprintln!("engine-bench: {} on {} at scale {scale}, batch {batch}", spec.name, preset.label());
+
+    // Single-cell rate on the per-cell oracle kernel (the B=1 reference).
     let start = std::time::Instant::now();
     let m = run_benchmark(preset, &spec, scale);
     let wall_nanos = start.elapsed().as_nanos() as u64;
     let perf = tenoc::harness::RunPerf::measure(m.icnt_cycles, wall_nanos);
     let speedup = perf.sim_cycles_per_sec / BASELINE_CYCLES_PER_SEC;
+    eprintln!(
+        "engine-bench: single cell {} cycles in {:.2} s -> {:.0} sim cycles/s ({speedup:.2}x baseline)",
+        m.icnt_cycles,
+        wall_nanos as f64 / 1e9,
+        perf.sim_cycles_per_sec
+    );
+
+    // Batched aggregate: N seed-varied probes in lockstep on the arena
+    // engine, one thread. Aggregate rate = total simulated cycles / wall.
+    let (batch_cycles, batch_wall_nanos) = if batch >= 2 {
+        let scaled = spec.scaled(scale);
+        let mut systems: Vec<tenoc::core::System> = (0..batch)
+            .map(|i| {
+                let mut cfg = tenoc::core::SystemConfig::with_icnt(preset.icnt(6));
+                cfg.seed = tenoc::harness::cell_seed(0x7e0c, i as u64);
+                cfg.engine = tenoc::core::EngineKind::Arena;
+                tenoc::core::System::new(cfg, &scaled)
+            })
+            .collect();
+        let start = std::time::Instant::now();
+        let results = tenoc::core::run_lockstep(&mut systems);
+        let wall = start.elapsed().as_nanos() as u64;
+        let total: u64 = results.iter().map(|r| r.icnt_cycles).sum();
+        (total, wall)
+    } else {
+        (m.icnt_cycles, wall_nanos)
+    };
+    let aggregate_rate = batch_cycles as f64 / (batch_wall_nanos as f64 / 1e9);
+    let aggregate_speedup = aggregate_rate / perf.sim_cycles_per_sec;
+    if batch >= 2 {
+        eprintln!(
+            "engine-bench: batch {batch} aggregate {} cycles in {:.2} s -> {:.0} sim cycles/s \
+             ({aggregate_speedup:.2}x the single-cell rate)",
+            batch_cycles,
+            batch_wall_nanos as f64 / 1e9,
+            aggregate_rate
+        );
+    }
+
+    let path = flags.get("out").map(String::as_str).unwrap_or("BENCH_engine.json");
+    let entry = format!(
+        "{{\"date\":\"{}\",\"scale\":{},\"sim_cycles\":{},\"wall_nanos\":{},\
+         \"sim_cycles_per_sec\":{:.1},\"batch\":{},\"batch_sim_cycles\":{},\
+         \"batch_wall_nanos\":{},\"aggregate_cycles_per_sec\":{:.1},\
+         \"aggregate_speedup_over_single\":{:.2}}}",
+        utc_date_string(),
+        scale,
+        m.icnt_cycles,
+        wall_nanos,
+        perf.sim_cycles_per_sec,
+        batch,
+        batch_cycles,
+        batch_wall_nanos,
+        aggregate_rate,
+        aggregate_speedup
+    );
+    let mut history = prior_history(path);
+    history.push(entry.clone());
     let json = format!(
         "{{\"probe\":{{\"preset\":\"{}\",\"benchmark\":\"{}\",\"scale\":{}}},\
          \"sim_cycles\":{},\"wall_nanos\":{},\"sim_cycles_per_sec\":{:.1},\
-         \"baseline_sim_cycles_per_sec\":{:.1},\"speedup\":{:.2}}}\n",
+         \"baseline_sim_cycles_per_sec\":{:.1},\"speedup\":{:.2},\
+         \"batch\":{},\"aggregate_cycles_per_sec\":{:.1},\
+         \"aggregate_speedup_over_single\":{:.2},\
+         \"history\":[{}]}}\n",
         preset.label(),
         spec.name,
         scale,
@@ -374,19 +493,17 @@ fn cmd_engine_bench(flags: &HashMap<String, String>) -> ExitCode {
         wall_nanos,
         perf.sim_cycles_per_sec,
         BASELINE_CYCLES_PER_SEC,
-        speedup
+        speedup,
+        batch,
+        aggregate_rate,
+        aggregate_speedup,
+        history.join(",")
     );
-    let path = flags.get("out").map(String::as_str).unwrap_or("BENCH_engine.json");
     if let Err(e) = std::fs::write(path, &json) {
         eprintln!("engine-bench: cannot write {path}: {e}");
         return ExitCode::FAILURE;
     }
-    eprintln!(
-        "engine-bench: {} cycles in {:.2} s -> {:.0} sim cycles/s ({speedup:.2}x baseline), wrote {path}",
-        m.icnt_cycles,
-        wall_nanos as f64 / 1e9,
-        perf.sim_cycles_per_sec
-    );
+    eprintln!("engine-bench: wrote {path} ({} history entries)", history.len());
     ExitCode::SUCCESS
 }
 
@@ -525,15 +642,21 @@ fn cmd_sweep(flags: &HashMap<String, String>, scale: f64) -> ExitCode {
         .and_then(|j| j.parse::<usize>().ok())
         .filter(|&j| j >= 1)
         .unwrap_or_else(tenoc::harness::jobs_from_env);
+    let batch = flags.get("batch").and_then(|b| b.parse::<usize>().ok()).unwrap_or(1).max(1);
     eprintln!(
-        "sweep: {} cells ({} presets x {} benchmarks) at scale {}, {} jobs",
+        "sweep: {} cells ({} presets x {} benchmarks) at scale {}, {} jobs, batch {}",
         grid.len(),
         grid.presets.len(),
         grid.benchmarks.len(),
         grid.scale,
-        jobs
+        jobs,
+        batch
     );
-    let records = engine::run_sweep(&grid, jobs);
+    let records = if batch >= 2 {
+        engine::run_sweep_batched(&grid, jobs, batch)
+    } else {
+        engine::run_sweep(&grid, jobs)
+    };
     let jsonl = to_jsonl(&records);
 
     if let Some(path) = flags.get("out") {
