@@ -65,6 +65,29 @@ impl Preset {
         Preset::Perfect,
     ];
 
+    /// Resolves a CLI/service flag name (e.g. `baseline`, `thr-eff`,
+    /// `cp-cr`) to a preset. Case-insensitive. The accepted names are the
+    /// ones `tenoc sweep`, `tenoc serve` requests and the usage text all
+    /// share.
+    pub fn from_flag(s: &str) -> Option<Preset> {
+        Some(match s.to_ascii_lowercase().as_str() {
+            "baseline" | "tb-dor" => Preset::BaselineTbDor,
+            "2x" | "2x-bw" => Preset::TbDor2xBw,
+            "1cycle" | "1-cycle" => Preset::TbDor1Cycle,
+            "cp-dor" => Preset::CpDor2vc,
+            "cp-dor-4vc" => Preset::CpDor4vc,
+            "cp-cr" => Preset::CpCr4vc,
+            "double" => Preset::DoubleCpCr,
+            "2p-inj" | "double-2p-inj" => Preset::DoubleCpCr2InjPorts,
+            "2p-ej" | "double-2p-ej" => Preset::DoubleCpCr2EjPorts,
+            "2p-both" | "double-2p-both" => Preset::DoubleCpCr2Both,
+            "thr-eff" | "te" => Preset::ThroughputEffective,
+            "cp-cr-2p" | "te-single" => Preset::CpCr2pSingle,
+            "perfect" | "ideal" => Preset::Perfect,
+            _ => return None,
+        })
+    }
+
     /// Short label used in printed tables.
     pub fn label(&self) -> String {
         match self {

@@ -36,6 +36,28 @@ pub enum IcntConfig {
     BwLimited(NetworkConfig, f64),
 }
 
+impl serde::Serialize for IcntConfig {
+    fn to_value(&self) -> serde::json::Value {
+        // A tagged object: the variant name plus the carried network
+        // configuration (and the bandwidth cap where present). This is the
+        // canonical identity of an interconnect for content addressing —
+        // two `IcntConfig`s with equal serializations build simulators
+        // that produce identical results for identical workloads.
+        let kind = match self {
+            IcntConfig::Mesh(_) => "mesh",
+            IcntConfig::Double(_) => "double",
+            IcntConfig::Perfect(_) => "perfect",
+            IcntConfig::BwLimited(..) => "bw-limited",
+        };
+        let mut fields =
+            vec![("kind".to_string(), kind.to_value()), ("net".to_string(), self.net().to_value())];
+        if let IcntConfig::BwLimited(_, flits) = self {
+            fields.push(("cap_flits_per_cycle".to_string(), flits.to_value()));
+        }
+        serde::json::Value::Object(fields)
+    }
+}
+
 impl IcntConfig {
     /// The geometry-bearing network configuration.
     pub fn net(&self) -> &NetworkConfig {

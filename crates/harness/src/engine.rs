@@ -29,6 +29,18 @@ pub struct CellResult {
     pub telemetry: Vec<tenoc_core::TelemetryReport>,
 }
 
+/// The fully-resolved system configuration a cell simulates with: the
+/// preset's interconnect at the cell's mesh radix, every other parameter
+/// at its Table II value, and the cell's private seed. This is the single
+/// source of truth for what a cell *is* — the service layer's canonical
+/// content hash is computed over it, so it must stay in lockstep with
+/// [`run_cell`].
+pub fn cell_system_config(cell: &SweepCell) -> SystemConfig {
+    let mut cfg = SystemConfig::with_icnt(cell.preset.icnt(cell.mesh_k));
+    cfg.seed = cell.seed;
+    cfg
+}
+
 /// Runs one cell to completion.
 ///
 /// # Panics
@@ -38,8 +50,7 @@ pub struct CellResult {
 pub fn run_cell(cell: &SweepCell) -> CellResult {
     let spec = tenoc_workloads::by_name(&cell.benchmark)
         .unwrap_or_else(|| panic!("unknown benchmark {}", cell.benchmark));
-    let mut cfg = SystemConfig::with_icnt(cell.preset.icnt(cell.mesh_k));
-    cfg.seed = cell.seed;
+    let cfg = cell_system_config(cell);
     let start = std::time::Instant::now();
     let (metrics, telemetry) = if cell.telemetry {
         run_traced_with_system_config(cfg, &spec, cell.scale, TelemetryConfig::default())
@@ -98,6 +109,17 @@ fn shape_key(cell: &SweepCell) -> String {
         // Ideal networks never reach here (not arena-eligible).
         other => format!("ideal:{other:?}"),
     }
+}
+
+/// The public batching key: `Some(shape)` when the cell may run on the
+/// lockstep arena engine, `None` when it must use the per-cell oracle
+/// (telemetry armed, ideal network, or a shape the arena cannot pack).
+/// Cells with equal keys build identically-dimensioned simulators and may
+/// be grouped into one [`run_cells_lockstep`] call — the service layer's
+/// scheduler uses this to route same-shape cells through the batched
+/// kernel.
+pub fn batch_shape_key(cell: &SweepCell) -> Option<String> {
+    arena_eligible(cell).then(|| shape_key(cell))
 }
 
 /// Runs a set of same-shape cells in lockstep on the arena engine,
@@ -242,6 +264,22 @@ pub fn annotate(result: &CellResult) -> RunRecord {
     record
 }
 
+/// The cache hook: seals a record for `cell` from a previously-measured
+/// `(class, metrics)` pair without re-simulating. Because wall time and
+/// telemetry ride the record's non-serialized side channel, the resulting
+/// record is byte-identical to the one [`run_cell`] + [`annotate`] would
+/// have produced for the same cell — which is what lets a result cache
+/// substitute for simulation without perturbing golden snapshots.
+pub fn annotate_cached(cell: &SweepCell, class: TrafficClass, metrics: RunMetrics) -> RunRecord {
+    annotate(&CellResult {
+        cell: cell.clone(),
+        class,
+        metrics,
+        wall_nanos: 0,
+        telemetry: Vec::new(),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -268,6 +306,41 @@ mod tests {
         }
         assert_eq!(records[0].preset, "TB-DOR");
         assert_eq!(records[3].preset, "Perfect");
+    }
+
+    #[test]
+    fn cached_annotation_is_byte_identical_to_simulation() {
+        let grid = SweepGrid::new(vec![Preset::BaselineTbDor], vec!["HIS".into()], 0.02);
+        let cell = grid.cell(0);
+        let result = run_cell(&cell);
+        let direct = annotate(&result);
+        let cached = annotate_cached(&cell, result.class, result.metrics);
+        assert_eq!(cached, direct);
+        assert_eq!(
+            crate::record::to_jsonl(std::slice::from_ref(&cached)),
+            crate::record::to_jsonl(std::slice::from_ref(&direct))
+        );
+    }
+
+    #[test]
+    fn shape_key_batches_same_shape_cells_only() {
+        let grid = SweepGrid::new(
+            vec![Preset::BaselineTbDor, Preset::ThroughputEffective, Preset::Perfect],
+            vec!["HIS".into(), "MM".into()],
+            0.02,
+        );
+        let cells = grid.cells();
+        // Same preset, different benchmark/seed: same shape.
+        assert_eq!(batch_shape_key(&cells[0]), batch_shape_key(&cells[1]));
+        assert!(batch_shape_key(&cells[0]).is_some());
+        // Different fabric: different shape.
+        assert_ne!(batch_shape_key(&cells[0]), batch_shape_key(&cells[2]));
+        // Ideal networks cannot batch.
+        assert_eq!(batch_shape_key(&cells[4]), None);
+        // Telemetry forces the oracle.
+        let mut t = cells[0].clone();
+        t.telemetry = true;
+        assert_eq!(batch_shape_key(&t), None);
     }
 
     #[test]

@@ -1,0 +1,37 @@
+//! `tenoc-serve`: the long-running sweep service.
+//!
+//! `tenoc sweep` is a batch command: plan a grid, simulate every cell,
+//! write a JSONL file. This crate turns that pipeline into a shared,
+//! memoized service — JSON lines over TCP — built from four pieces:
+//!
+//! - [`canon`]: a canonical content address for each cell, stable across
+//!   field order and serialization round-trips, computed over the
+//!   *resolved* configuration so aliased presets share results;
+//! - [`cache`]: a persistent result cache whose append-only journal
+//!   doubles as the crash-resume log;
+//! - [`sched`]: deadline-round-robin fair queuing across tenants, with
+//!   shape-aware batch pops that feed the lockstep arena kernel;
+//! - [`server`]/[`client`]: the TCP service and its blocking client,
+//!   with an in-flight dedup table so concurrent requests for the same
+//!   cell trigger exactly one simulation.
+//!
+//! The contract throughout: the service's reassembled stream is
+//! **byte-identical** to `tenoc sweep` output for the same grid, whether
+//! a cell was simulated, deduplicated, or served from cache.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod canon;
+pub mod client;
+pub mod proto;
+pub mod sched;
+pub mod server;
+
+pub use cache::{CachedCell, DiskCache};
+pub use canon::{canonical_json, canonicalize, cell_key, cell_value, hash_value};
+pub use client::{connect_with_retry, fetch_stats, submit, submit_on, SubmitOutcome};
+pub use proto::{classify_line, event_line, SweepRequest, DEFAULT_SCALE, DEFAULT_SEED};
+pub use sched::DeadlineRr;
+pub use server::{start, ServerConfig, ServerHandle, StatsSnapshot};

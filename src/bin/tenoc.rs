@@ -9,6 +9,10 @@
 //! tenoc trace --preset thr-eff [--benchmark RD] [--scale F] [--out DIR]
 //!             [--flight-cap N] [--node N] [--class request|reply]
 //! tenoc audit [--k N] [--out FILE] [--json] [--golden FILE --check|--bless]
+//! tenoc serve [--addr HOST:PORT] [--cache DIR] [--jobs N] [--batch B]
+//! tenoc submit [--addr HOST:PORT] [--tenant NAME] [--tiny]
+//!              [--presets A,B] [--benchmarks X,Y] [--scale F] [--seed N]
+//!              [--out FILE] [--require-cached] | --stats [--out FILE]
 //! tenoc openloop --preset cp-cr-2p [--hotspot] [--rates 0.01..0.12]
 //! tenoc engine-bench [--scale F] [--batch N] [--out FILE]
 //! tenoc area
@@ -29,19 +33,9 @@ use tenoc::noc::openloop::{run_open_loop, OpenLoopConfig, TrafficPattern};
 use tenoc::workloads::{by_name, full_name, suite};
 
 fn preset_by_flag(s: &str) -> Option<Preset> {
-    Some(match s.to_ascii_lowercase().as_str() {
-        "baseline" | "tb-dor" => Preset::BaselineTbDor,
-        "2x" | "2x-bw" => Preset::TbDor2xBw,
-        "1cycle" | "1-cycle" => Preset::TbDor1Cycle,
-        "cp-dor" => Preset::CpDor2vc,
-        "cp-dor-4vc" => Preset::CpDor4vc,
-        "cp-cr" => Preset::CpCr4vc,
-        "double" => Preset::DoubleCpCr,
-        "thr-eff" | "te" => Preset::ThroughputEffective,
-        "cp-cr-2p" | "te-single" => Preset::CpCr2pSingle,
-        "perfect" | "ideal" => Preset::Perfect,
-        _ => return None,
-    })
+    // One flag vocabulary everywhere: the CLI, the sweep service wire
+    // protocol and the library all resolve through `Preset::from_flag`.
+    Preset::from_flag(s)
 }
 
 fn parse_flags(args: &[String]) -> HashMap<String, String> {
@@ -77,6 +71,15 @@ fn usage() -> ExitCode {
                       flight recorder -> trace.json + flight.jsonl)\n\
            audit     [--k N] [--out FILE] [--json] [--golden FILE --check|--bless]\n\
                      (static config-space audit: verify, bound, price, rank)\n\
+           serve     [--addr HOST:PORT] [--cache DIR] [--jobs N] [--batch B]\n\
+                     (long-running sweep service: content-addressed cache,\n\
+                      in-flight dedup, tenant-fair scheduling; default addr\n\
+                      127.0.0.1:32268)\n\
+           submit    [--addr HOST:PORT] [--tenant NAME] [--tiny]\n\
+                     [--presets A,B] [--benchmarks X,Y] [--scale F] [--seed N]\n\
+                     [--out FILE] [--require-cached]\n\
+                     (submit a grid to a running service; --stats fetches the\n\
+                      service counters instead)\n\
            openloop  --preset <NAME> [--hotspot] [--rate F]\n\
            engine-bench [--scale F] [--batch N] [--out FILE] (simulator speed probe)\n\
            area      (Table VI summary)\n\
@@ -138,6 +141,8 @@ fn main() -> ExitCode {
             }
         }
         "sweep" => return cmd_sweep(&flags, scale),
+        "serve" => return cmd_serve(&flags),
+        "submit" => return cmd_submit(&flags),
         "audit" => return cmd_audit(&flags),
         "trace" => return cmd_trace(&flags, scale),
         "engine-bench" => return cmd_engine_bench(&flags),
@@ -505,6 +510,142 @@ fn cmd_engine_bench(flags: &HashMap<String, String>) -> ExitCode {
     }
     eprintln!("engine-bench: wrote {path} ({} history entries)", history.len());
     ExitCode::SUCCESS
+}
+
+/// Default service address: port 0x7e0c, the workspace's seed constant.
+const SERVE_ADDR: &str = "127.0.0.1:32268";
+
+/// `tenoc serve`: run the sweep service until killed. Results are
+/// journaled to the cache directory as they complete, so a killed server
+/// restarted on the same `--cache` resumes without re-simulating.
+fn cmd_serve(flags: &HashMap<String, String>) -> ExitCode {
+    let mut cfg = tenoc::serve::ServerConfig::new(
+        flags.get("addr").map(String::as_str).unwrap_or(SERVE_ADDR),
+        flags.get("cache").map(String::as_str).unwrap_or("sweep-cache"),
+    );
+    if let Some(jobs) = flags.get("jobs").and_then(|j| j.parse::<usize>().ok()).filter(|&j| j >= 1)
+    {
+        cfg.workers = jobs;
+    }
+    cfg.batch = flags.get("batch").and_then(|b| b.parse::<usize>().ok()).unwrap_or(8).max(1);
+    let handle = match tenoc::serve::start(cfg.clone()) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("serve: cannot start on {}: {e}", cfg.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "serve: listening on {} ({} workers, batch {}, cache {})",
+        handle.addr(),
+        cfg.workers,
+        cfg.batch,
+        cfg.cache_dir.display()
+    );
+    // Serve until the process is killed; the journal makes that safe.
+    loop {
+        std::thread::park();
+    }
+}
+
+/// `tenoc submit`: send one sweep to a running service, reassemble the
+/// stream in cell order (byte-identical to `tenoc sweep` output for the
+/// same grid) and report the request's cache accounting. With `--stats`,
+/// fetch the service counters instead.
+fn cmd_submit(flags: &HashMap<String, String>) -> ExitCode {
+    use std::time::Duration;
+    let addr = flags.get("addr").map(String::as_str).unwrap_or(SERVE_ADDR);
+
+    let write_out = |flags: &HashMap<String, String>, text: &str, what: &str| -> bool {
+        if let Some(path) = flags.get("out") {
+            if let Err(e) = std::fs::write(path, text) {
+                eprintln!("submit: cannot write {path}: {e}");
+                return false;
+            }
+            eprintln!("submit: wrote {what} to {path}");
+        } else {
+            print!("{text}");
+        }
+        true
+    };
+
+    if flags.contains_key("stats") {
+        match tenoc::serve::fetch_stats(addr) {
+            Ok(stats) => {
+                let mut text = stats.to_json_compact();
+                text.push('\n');
+                if write_out(flags, &text, "service stats") {
+                    ExitCode::SUCCESS
+                } else {
+                    ExitCode::FAILURE
+                }
+            }
+            Err(e) => {
+                eprintln!("submit: stats from {addr} failed: {e}");
+                ExitCode::FAILURE
+            }
+        }
+    } else {
+        let mut req = tenoc::serve::SweepRequest {
+            tenant: flags.get("tenant").cloned().unwrap_or_else(|| "cli".to_string()),
+            tiny: flags.contains_key("tiny"),
+            ..Default::default()
+        };
+        if let Some(list) = flags.get("presets") {
+            req.presets = list.split(',').map(str::to_string).collect();
+        } else if !req.tiny {
+            req.presets = vec!["baseline".to_string()];
+        }
+        if let Some(list) = flags.get("benchmarks") {
+            req.benchmarks = list.split(',').map(str::to_string).collect();
+        } else if !req.tiny {
+            req.benchmarks =
+                tenoc::workloads::smoke_suite().iter().map(|s| s.name.clone()).collect();
+        }
+        if let Some(s) = flags.get("scale").and_then(|s| s.parse::<f64>().ok()) {
+            req.scale = s;
+        }
+        if let Some(s) = flags.get("seed").and_then(|s| s.parse::<u64>().ok()) {
+            req.seed = s;
+        }
+
+        // The server may have been spawned a moment ago (CI backgrounds
+        // it); retry the connect briefly instead of failing on a race.
+        let mut stream =
+            match tenoc::serve::connect_with_retry(addr, 40, Duration::from_millis(250)) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("submit: cannot reach service at {addr}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+        let outcome = match tenoc::serve::submit_on(&mut stream, &req) {
+            Ok(o) => o,
+            Err(e) => {
+                eprintln!("submit: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if outcome.aborted {
+            eprintln!("submit: server aborted the stream after {} records", outcome.lines.len());
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "submit: {} cells ({} simulated, {} cache hits, {} dedup hits)",
+            outcome.planned, outcome.simulated, outcome.cache_hits, outcome.dedup_hits
+        );
+        if !write_out(flags, &outcome.jsonl(), "records") {
+            return ExitCode::FAILURE;
+        }
+        if flags.contains_key("require-cached") && outcome.simulated != 0 {
+            eprintln!(
+                "submit: --require-cached violated: {} cells simulated instead of hitting cache",
+                outcome.simulated
+            );
+            return ExitCode::FAILURE;
+        }
+        ExitCode::SUCCESS
+    }
 }
 
 /// `tenoc audit`: statically verify, bound, price and rank the config

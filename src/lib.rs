@@ -20,6 +20,10 @@
 //! * [`verify`] — the static analyzer: configuration legality proofs
 //!   (CDG acyclicity, reachability, VC isolation) and the load/latency
 //!   bound engine behind `tenoc audit`.
+//! * [`serve`] — the long-running sweep service behind `tenoc serve`:
+//!   JSON lines over TCP, a content-addressed persistent result cache,
+//!   in-flight dedup and tenant-fair deadline-RR scheduling, streaming
+//!   byte-identical records to batch `tenoc sweep`.
 //!
 //! See `README.md` for a quickstart and `EXPERIMENTS.md` for the
 //! paper-vs-measured record of every figure and table.
@@ -32,6 +36,7 @@ pub use tenoc_core as core;
 pub use tenoc_dram as dram;
 pub use tenoc_harness as harness;
 pub use tenoc_noc as noc;
+pub use tenoc_serve as serve;
 pub use tenoc_simt as simt;
 pub use tenoc_verify as verify;
 pub use tenoc_workloads as workloads;
