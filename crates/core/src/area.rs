@@ -132,13 +132,39 @@ impl AreaModel {
         mc_extra_inject: bool,
         mc_extra_eject: bool,
     ) -> ChipArea {
-        let k = cfg.mesh.radix();
-        let links = (4 * k * (k - 1)) as f64 * LINK_16B * cfg.channel_bytes as f64 / 16.0;
+        // Link count comes from the topology itself (4k(k-1) on the mesh,
+        // 4k² on the torus). A folded torus keeps every physical hop
+        // on-chip but doubles each link's wire length, hence the length
+        // factor on its per-link area.
+        let length_factor = if cfg.mesh.is_torus() { 2.0 } else { 1.0 };
+        let links =
+            cfg.mesh.links().count() as f64 * length_factor * LINK_16B * cfg.channel_bytes as f64
+                / 16.0;
         let mut routers = 0.0;
         for node in cfg.mesh.nodes() {
             let is_mc = cfg.mc_nodes.contains(&node);
-            let n_inj = if is_mc && mc_extra_inject { cfg.mc_inject_ports } else { 1 };
-            let n_ej = if is_mc && mc_extra_eject { cfg.mc_eject_ports } else { 1 };
+            // Core routers carry the configured terminal ports (1 on the
+            // mesh, `conc` on a concentrated mesh — a 5-to-7-port radix
+            // range); MC routers charge their extra ports only where the
+            // network actually wires them.
+            let n_inj = if is_mc {
+                if mc_extra_inject {
+                    cfg.mc_inject_ports
+                } else {
+                    1
+                }
+            } else {
+                cfg.core_inject_ports
+            };
+            let n_ej = if is_mc {
+                if mc_extra_eject {
+                    cfg.mc_eject_ports
+                } else {
+                    1
+                }
+            } else {
+                cfg.core_eject_ports
+            };
             routers += RouterArea::new(
                 cfg.mesh.kind(node),
                 cfg.channel_bytes,
@@ -281,6 +307,30 @@ mod tests {
         let delta = mp.routers - base.routers;
         assert!(delta > 0.0 && delta < 1.0, "extra injection ports cost {delta} mm²");
         assert!(close(mp.total(), 537.44, 1.5), "{}", mp.total());
+    }
+
+    #[test]
+    fn torus_pays_for_wrap_links() {
+        let mesh = AreaModel::chip_area(&Preset::BaselineTbDor.icnt(6));
+        let torus = AreaModel::chip_area(&Preset::TorusDor.icnt(6));
+        // 4k² links at twice the folded wire length vs 4k(k-1) links:
+        // 144 * 2 / 120 = 2.4x the link area.
+        assert!(close(torus.links / mesh.links, 2.4, 1e-9), "{}", torus.links / mesh.links);
+        // Router area grows only by the wider VC complement (4 vs 2).
+        assert!(torus.routers > mesh.routers, "{} vs {}", torus.routers, mesh.routers);
+    }
+
+    #[test]
+    fn cmesh_charges_concentrated_terminal_ports() {
+        let mesh = AreaModel::chip_area(&Preset::BaselineTbDor.icnt(6));
+        let cmesh = AreaModel::chip_area(&Preset::CMeshDor.icnt(6));
+        // Same grid and links; compute routers grow to 7-port radix.
+        assert!(close(cmesh.links, mesh.links, 1e-9));
+        assert!(cmesh.routers > mesh.routers, "{} vs {}", cmesh.routers, mesh.routers);
+        // Spot-check one concentrated router against the port model.
+        let r1 = RouterArea::new(RouterKind::Full, 16, 2, 8, 1, 1);
+        let r2 = RouterArea::new(RouterKind::Full, 16, 2, 8, 2, 2);
+        assert!(r2.crossbar > r1.crossbar && r2.buffer > r1.buffer);
     }
 
     #[test]

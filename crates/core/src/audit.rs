@@ -186,16 +186,20 @@ pub fn audit_icnt(name: &str, icnt: &IcntConfig) -> AuditEntry {
 
 /// Named illegal variants included in the default grid so the audit
 /// demonstrates rejection-with-witness alongside the ranking: a
-/// checkerboard network without phase-split VCs (routing-deadlock cycle)
-/// and O1TURN on a checkerboard mesh (illegal turns at half-routers).
+/// checkerboard network without phase-split VCs (routing-deadlock cycle),
+/// O1TURN on a checkerboard mesh (illegal turns at half-routers), and a
+/// torus without dateline VCs (ring cycle across the wraparound links).
 pub fn illegal_variants(k: usize) -> Vec<(String, IcntConfig)> {
     let mut unsplit = NetworkConfig::checkerboard_mesh(k);
     unsplit.vcs = VcLayout::new(2, 2, false);
     let mut o1turn = NetworkConfig::checkerboard_mesh(k);
     o1turn.routing = tenoc_noc::RoutingKind::O1Turn;
+    let mut undated = NetworkConfig::baseline_torus(k);
+    undated.vcs = VcLayout::new(4, 2, false);
     vec![
         ("CR-unsplit-VCs".to_string(), IcntConfig::Mesh(unsplit)),
         ("O1TURN-on-CR-mesh".to_string(), IcntConfig::Mesh(o1turn)),
+        ("Torus-no-dateline".to_string(), IcntConfig::Mesh(undated)),
     ]
 }
 

@@ -39,6 +39,13 @@ pub enum Preset {
     /// accounting the 50/50 slice caps reply throughput below the single
     /// network's for saturated benchmarks (see EXPERIMENTS.md).
     CpCr2pSingle,
+    /// Torus fabric with DOR and dateline VCs: the baseline grid with
+    /// every row and column wrapped (ROADMAP item 4's first non-mesh
+    /// fabric; halves the network diameter for extra link area).
+    TorusDor,
+    /// Concentrated mesh: two cores share every compute router through
+    /// dedicated terminal ports (7-port radix, same grid and links).
+    CMeshDor,
     /// Zero-latency infinite-bandwidth network (perfect NoC).
     Perfect,
     /// Zero-latency network capped at `fraction` of peak off-chip DRAM
@@ -49,7 +56,7 @@ pub enum Preset {
 impl Preset {
     /// All closed-loop presets with fixed parameters (excludes
     /// `BwLimited`, which is swept).
-    pub const NAMED: [Preset; 13] = [
+    pub const NAMED: [Preset; 15] = [
         Preset::BaselineTbDor,
         Preset::TbDor2xBw,
         Preset::TbDor1Cycle,
@@ -62,6 +69,8 @@ impl Preset {
         Preset::DoubleCpCr2Both,
         Preset::ThroughputEffective,
         Preset::CpCr2pSingle,
+        Preset::TorusDor,
+        Preset::CMeshDor,
         Preset::Perfect,
     ];
 
@@ -83,6 +92,8 @@ impl Preset {
             "2p-both" | "double-2p-both" => Preset::DoubleCpCr2Both,
             "thr-eff" | "te" => Preset::ThroughputEffective,
             "cp-cr-2p" | "te-single" => Preset::CpCr2pSingle,
+            "torus" | "torus-dor" => Preset::TorusDor,
+            "cmesh" | "cmesh-dor" => Preset::CMeshDor,
             "perfect" | "ideal" => Preset::Perfect,
             _ => return None,
         })
@@ -103,6 +114,8 @@ impl Preset {
             Preset::DoubleCpCr2Both => "Double-CP-CR-2P(both)".into(),
             Preset::ThroughputEffective => "Thr-Eff".into(),
             Preset::CpCr2pSingle => "CP-CR-2P(single)".into(),
+            Preset::TorusDor => "Torus-DOR".into(),
+            Preset::CMeshDor => "CMesh-DOR".into(),
             Preset::Perfect => "Perfect".into(),
             Preset::BwLimited(f) => format!("BW-{f:.2}"),
         }
@@ -150,6 +163,8 @@ impl Preset {
                 c.mc_inject_ports = 2;
                 IcntConfig::Mesh(c)
             }
+            Preset::TorusDor => IcntConfig::Mesh(NetworkConfig::baseline_torus(k)),
+            Preset::CMeshDor => IcntConfig::Mesh(NetworkConfig::concentrated_mesh(k, 2)),
             Preset::Perfect => IcntConfig::Perfect(base),
             Preset::BwLimited(fraction) => {
                 let flits = bw_limit_flits_per_icnt_cycle(*fraction, base.mc_nodes.len());
@@ -166,6 +181,8 @@ impl Preset {
             Preset::CpDor2vc | Preset::CpDor4vc => "CP-DOR",
             Preset::CpCr4vc => "CP-CR",
             Preset::DoubleCpCr2InjPorts | Preset::ThroughputEffective => "CP-CR-2P",
+            Preset::TorusDor => "Torus-DOR",
+            Preset::CMeshDor => "CMesh-DOR",
             _ => "other",
         }
     }
@@ -235,6 +252,33 @@ mod tests {
         assert_eq!(c.mc_inject_ports, 2);
         assert_eq!(c.mc_eject_ports, 1);
         assert_eq!(c.routing, RoutingKind::Checkerboard);
+    }
+
+    #[test]
+    fn torus_preset_wraps_and_splits_dateline_vcs() {
+        let IcntConfig::Mesh(c) = Preset::TorusDor.icnt(6) else { panic!() };
+        assert!(c.mesh.is_torus());
+        assert!(c.vcs.split_dateline);
+        assert_eq!(c.routing, RoutingKind::DorXy);
+        c.validate().unwrap();
+        // Every edge router wraps to the opposite side.
+        assert_eq!(c.mesh.neighbor(5, tenoc_noc::Direction::East), Some(0));
+    }
+
+    #[test]
+    fn cmesh_preset_concentrates_two_cores_per_router() {
+        let IcntConfig::Mesh(c) = Preset::CMeshDor.icnt(6) else { panic!() };
+        assert_eq!(c.mesh.concentration(), 2);
+        assert_eq!(c.core_inject_ports, 2);
+        assert_eq!(c.core_eject_ports, 2);
+        assert_eq!(c.mesh.terminals(), 72);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn new_fabric_flags_resolve() {
+        assert_eq!(Preset::from_flag("torus"), Some(Preset::TorusDor));
+        assert_eq!(Preset::from_flag("cmesh-dor"), Some(Preset::CMeshDor));
     }
 
     #[test]

@@ -146,15 +146,18 @@ pub struct SystemConfig {
 
 impl SystemConfig {
     /// A system around the given interconnect with all other parameters at
-    /// their Table II values.
+    /// their Table II values. Concentrated fabrics imply their own
+    /// concentration (cores per compute router); every other topology
+    /// keeps the paper's 1:1 core-to-router mapping.
     pub fn with_icnt(icnt: IcntConfig) -> Self {
+        let cores_per_node = icnt.net().mesh.concentration();
         SystemConfig {
             icnt,
             core: CoreConfig::gtx280_like(),
             mc: McConfig::gtx280_like(),
             clocks: ClockConfig::gtx280(),
             chunk: 256,
-            cores_per_node: 1,
+            cores_per_node,
             seed: 0x7e0c,
             max_core_cycles: 50_000_000,
             engine: EngineKind::PerCell,

@@ -3,8 +3,9 @@
 
 use crate::packet::{PacketClass, Phase};
 use crate::routing::VcSet;
-use crate::topology::{Mesh, Placement};
+use crate::topology::{Fabric, Mesh, Placement};
 use crate::types::NodeId;
+use serde::json;
 use serde::{Deserialize, Serialize};
 
 /// Switch-allocator organization.
@@ -58,7 +59,13 @@ impl RoutingKind {
 /// network, avoiding protocol deadlock). With `split_phases` each class's
 /// VCs are further split into an XY subset and a YX subset, which
 /// checkerboard routing requires for routing-deadlock freedom.
-#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+///
+/// With `split_dateline` (torus fabrics) each class/phase subset is
+/// further halved into a *before-dateline* and an *after-dateline* set: a
+/// packet starts in the lower half and moves to the upper half once its
+/// route wraps around (or departs the wrap link of) a ring, which breaks
+/// the cyclic channel dependency every torus ring otherwise carries.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
 pub struct VcLayout {
     /// Total virtual channels per input port.
     pub total: u8,
@@ -66,6 +73,40 @@ pub struct VcLayout {
     pub classes: u8,
     /// Whether each class's VCs are split into XY/YX phase subsets.
     pub split_phases: bool,
+    /// Whether each class/phase subset is split into dateline halves
+    /// (required for deadlock freedom on torus fabrics).
+    pub split_dateline: bool,
+}
+
+impl Serialize for VcLayout {
+    // Hand-written: `split_dateline` is emitted only when set, so every
+    // pre-existing mesh layout serializes to the exact bytes the derive
+    // produced (shape fingerprints and canonical hashes must not move).
+    fn to_value(&self) -> json::Value {
+        let mut pairs = vec![
+            ("total".to_owned(), self.total.to_value()),
+            ("classes".to_owned(), self.classes.to_value()),
+            ("split_phases".to_owned(), self.split_phases.to_value()),
+        ];
+        if self.split_dateline {
+            pairs.push(("split_dateline".to_owned(), self.split_dateline.to_value()));
+        }
+        json::Value::Object(pairs)
+    }
+}
+
+impl Deserialize for VcLayout {
+    fn from_value(v: &json::Value) -> Result<Self, json::Error> {
+        Ok(VcLayout {
+            total: u8::from_value(v.field("total")?)?,
+            classes: u8::from_value(v.field("classes")?)?,
+            split_phases: bool::from_value(v.field("split_phases")?)?,
+            split_dateline: match v.field("split_dateline") {
+                Err(_) => false,
+                Ok(b) => bool::from_value(b)?,
+            },
+        })
+    }
 }
 
 impl VcLayout {
@@ -89,7 +130,27 @@ impl VcLayout {
                 "phase splitting needs an even number (>= 2) of VCs per class"
             );
         }
-        VcLayout { total, classes, split_phases }
+        VcLayout { total, classes, split_phases, split_dateline: false }
+    }
+
+    /// Adds a dateline split to this layout (torus deadlock avoidance).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any class/phase subset cannot be halved (fewer than 2 VCs
+    /// or an odd count).
+    pub fn with_dateline(mut self) -> Self {
+        for class in [PacketClass::Request, PacketClass::Reply] {
+            for phase in [Phase::Xy, Phase::Yx] {
+                let s = self.set_for(class, phase);
+                assert!(
+                    s.count >= 2 && s.count.is_multiple_of(2),
+                    "dateline splitting needs an even number (>= 2) of VCs per class/phase"
+                );
+            }
+        }
+        self.split_dateline = true;
+        self
     }
 
     /// The VC subset available to a protocol class (ignoring phase).
@@ -113,6 +174,25 @@ impl VcLayout {
         match phase {
             Phase::Xy => VcSet::new(cs.first, per),
             Phase::Yx => VcSet::new(cs.first + per, per),
+        }
+    }
+
+    /// The VC subset for a packet of the given class and phase that has
+    /// (`crossed == true`) or has not yet (`crossed == false`) crossed the
+    /// dateline of the ring it is currently traversing. Without a dateline
+    /// split this is just [`VcLayout::set_for`]; with one, the lower half
+    /// of the class/phase subset carries not-yet-crossed packets and the
+    /// upper half carries crossed packets.
+    pub fn dateline_set(&self, class: PacketClass, phase: Phase, crossed: bool) -> VcSet {
+        let s = self.set_for(class, phase);
+        if !self.split_dateline {
+            return s;
+        }
+        let per = s.count / 2;
+        if crossed {
+            VcSet::new(s.first + per, per)
+        } else {
+            VcSet::new(s.first, per)
         }
     }
 }
@@ -224,6 +304,39 @@ impl NetworkConfig {
         }
     }
 
+    /// Torus counterpart of the balanced baseline: the same `k x k` grid
+    /// with every row and column wrapped, XY dimension-ordered routing,
+    /// and 4 VCs — request/reply classes each split into dateline halves,
+    /// which DOR on a torus requires for deadlock freedom.
+    pub fn baseline_torus(k: usize) -> Self {
+        let mesh = Mesh::torus(k);
+        let n_mc = if k == 6 { 8 } else { k.max(2) };
+        let mc_nodes = mesh.top_bottom_mcs(n_mc);
+        NetworkConfig {
+            mesh,
+            vcs: VcLayout::new(4, 2, false).with_dateline(),
+            mc_nodes,
+            ..Self::baseline_mesh(k)
+        }
+    }
+
+    /// Concentrated-mesh counterpart of the balanced baseline: `conc`
+    /// cores share each compute router through `conc` dedicated
+    /// injection/ejection ports (higher router radix, smaller grid per
+    /// core). Channels, VCs and routing match the baseline mesh.
+    pub fn concentrated_mesh(k: usize, conc: u8) -> Self {
+        let mesh = Mesh::cmesh(k, conc);
+        let n_mc = if k == 6 { 8 } else { k.max(2) };
+        let mc_nodes = mesh.top_bottom_mcs(n_mc);
+        NetworkConfig {
+            mesh,
+            mc_nodes,
+            core_inject_ports: conc as usize,
+            core_eject_ports: conc as usize,
+            ..Self::baseline_mesh(k)
+        }
+    }
+
     /// Checkerboard network: half-routers on odd-parity nodes, staggered
     /// MC placement on half-routers, checkerboard routing with 4 VCs
     /// (request XY/YX + reply XY/YX).
@@ -296,6 +409,43 @@ impl NetworkConfig {
         {
             return Err(format!("{:?} routing supports full-router meshes only", self.routing));
         }
+        if self.mesh.is_torus() {
+            if !matches!(self.routing, RoutingKind::DorXy | RoutingKind::DorYx) {
+                return Err(format!("{:?} routing is not defined on the torus", self.routing));
+            }
+            if self.mesh.nodes().any(|n| self.mesh.is_half(n)) {
+                return Err("half-routers are a mesh (checkerboard) organization".into());
+            }
+            if !self.vcs.split_dateline {
+                return Err("torus routing requires dateline-split VCs for deadlock freedom".into());
+            }
+        }
+        if self.vcs.split_dateline {
+            if !self.mesh.is_torus() {
+                return Err("dateline VC splitting is only meaningful on a torus".into());
+            }
+            for class in [PacketClass::Request, PacketClass::Reply] {
+                for phase in [Phase::Xy, Phase::Yx] {
+                    let s = self.vcs.set_for(class, phase);
+                    if s.count < 2 || !s.count.is_multiple_of(2) {
+                        return Err("dateline splitting needs an even number (>= 2) of VCs per \
+                             class/phase"
+                            .into());
+                    }
+                }
+            }
+        }
+        if let Fabric::CMesh { conc } = self.mesh.fabric() {
+            let conc = conc as usize;
+            if !self.core_inject_ports.is_multiple_of(conc)
+                || !self.core_eject_ports.is_multiple_of(conc)
+            {
+                return Err(format!(
+                    "concentrated mesh needs a terminal port pair per core: core ports must \
+                     be a multiple of the concentration factor {conc}"
+                ));
+            }
+        }
         if self.mc_inject_ports == 0 || self.mc_eject_ports == 0 {
             return Err("MC routers need at least one injection and ejection port".into());
         }
@@ -336,6 +486,9 @@ impl NetworkConfig {
         // sensitivity is quantified by the `abl_design_choices` bench.
         let per_class = self.vcs.total.max(if self.vcs.split_phases { 2 } else { 1 });
         sub.vcs = VcLayout::new(per_class, 1, self.vcs.split_phases);
+        if self.vcs.split_dateline {
+            sub.vcs = sub.vcs.with_dateline();
+        }
         sub
     }
 
@@ -443,6 +596,91 @@ mod tests {
         let mut c = NetworkConfig::baseline_mesh(6);
         c.mc_nodes.push(999);
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn layout_dateline_split() {
+        let l = VcLayout::new(4, 2, false).with_dateline();
+        assert_eq!(l.set_for(PacketClass::Request, Phase::Xy), VcSet::new(0, 2));
+        assert_eq!(l.dateline_set(PacketClass::Request, Phase::Xy, false), VcSet::new(0, 1));
+        assert_eq!(l.dateline_set(PacketClass::Request, Phase::Xy, true), VcSet::new(1, 1));
+        assert_eq!(l.dateline_set(PacketClass::Reply, Phase::Yx, false), VcSet::new(2, 1));
+        assert_eq!(l.dateline_set(PacketClass::Reply, Phase::Yx, true), VcSet::new(3, 1));
+        // Without the split, dateline_set degenerates to set_for.
+        let plain = VcLayout::new(2, 2, false);
+        assert_eq!(
+            plain.dateline_set(PacketClass::Reply, Phase::Xy, true),
+            plain.set_for(PacketClass::Reply, Phase::Xy)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "dateline splitting")]
+    fn layout_rejects_undersized_dateline_split() {
+        let _ = VcLayout::new(2, 2, false).with_dateline();
+    }
+
+    #[test]
+    fn torus_config_is_valid_and_dateline_is_required() {
+        let c = NetworkConfig::baseline_torus(6);
+        c.validate().unwrap();
+        assert!(c.mesh.is_torus());
+        assert!(c.vcs.split_dateline);
+        assert_eq!(c.placement(), Some(Placement::TopBottom));
+
+        let mut broken = c.clone();
+        broken.vcs = VcLayout::new(4, 2, false);
+        let err = broken.validate().unwrap_err();
+        assert!(err.contains("dateline"), "{err}");
+
+        let mut cb = c.clone();
+        cb.routing = RoutingKind::Checkerboard;
+        cb.vcs = VcLayout::new(4, 2, true);
+        assert!(cb.validate().is_err(), "checkerboard routing undefined on torus");
+    }
+
+    #[test]
+    fn dateline_without_torus_rejected() {
+        let mut c = NetworkConfig::baseline_mesh(6);
+        c.vcs = VcLayout::new(4, 2, false).with_dateline();
+        let err = c.validate().unwrap_err();
+        assert!(err.contains("torus"), "{err}");
+    }
+
+    #[test]
+    fn cmesh_config_is_valid_and_ports_track_concentration() {
+        let c = NetworkConfig::concentrated_mesh(6, 2);
+        c.validate().unwrap();
+        assert_eq!(c.mesh.concentration(), 2);
+        assert_eq!(c.core_inject_ports, 2);
+        assert_eq!(c.core_eject_ports, 2);
+
+        let mut broken = c.clone();
+        broken.core_inject_ports = 3;
+        assert!(broken.validate().is_err());
+    }
+
+    #[test]
+    fn sliced_torus_keeps_dateline_split() {
+        let sub = NetworkConfig::baseline_torus(6).slice();
+        assert!(sub.vcs.split_dateline);
+        sub.validate().unwrap();
+    }
+
+    #[test]
+    fn mesh_fingerprints_unmoved_by_topology_extension() {
+        // The shape fingerprint feeds batch keys and canonical content
+        // addresses; adding fabrics must not perturb mesh hashes. The new
+        // fabrics must also all hash differently from the mesh.
+        let mesh = NetworkConfig::baseline_mesh(6).shape_fingerprint();
+        let fps = [
+            mesh.clone(),
+            NetworkConfig::checkerboard_mesh(6).shape_fingerprint(),
+            NetworkConfig::baseline_torus(6).shape_fingerprint(),
+            NetworkConfig::concentrated_mesh(6, 2).shape_fingerprint(),
+        ];
+        let unique: std::collections::HashSet<_> = fps.iter().collect();
+        assert_eq!(unique.len(), fps.len());
     }
 
     #[test]

@@ -80,5 +80,5 @@ pub use telemetry::{
     TelemetryConfig, TelemetryReport,
 };
 pub use tick::Tick;
-pub use topology::{Mesh, Placement, RouterKind};
+pub use topology::{Fabric, Mesh, Placement, RouterKind, Topology};
 pub use types::{Coord, Direction, NodeId};

@@ -332,21 +332,68 @@ pub fn next_hop(
     }
     let cur = mesh.coord(node);
     let target = mesh.coord(hdr.via.unwrap_or(hdr.dst));
-    let out = direction_toward(cur, target, hdr.phase);
-    let vcs = vc_set_for(kind, layout, hdr.class, hdr.phase);
+    let out = direction_toward(mesh, cur, target, hdr.phase);
+    let vcs = match out {
+        // Dateline rule (torus): the packet's VC half on each inter-router
+        // channel is derived from whether its route has crossed (or is
+        // crossing, on this very hop) the wraparound edge of the ring it
+        // is traversing — a pure function of the current and source
+        // coordinates, so the header needs no extra state.
+        OutPort::Dir(d) if layout.split_dateline => {
+            let crossed = dateline_crossed(mesh, cur, mesh.coord(hdr.src), d);
+            layout.dateline_set(hdr.class, hdr.phase, crossed)
+        }
+        _ => vc_set_for(kind, layout, hdr.class, hdr.phase),
+    };
     RouteDecision { out, vcs }
 }
 
-fn direction_toward(cur: Coord, target: Coord, phase: Phase) -> OutPort {
+/// `true` if a packet injected at `src`, currently at `cur` and leaving in
+/// direction `d`, has already wrapped around the ring it is traversing in
+/// `d`'s dimension — or wraps on this very hop. Sound because minimal
+/// torus routes cover at most `k / 2 < k` hops per dimension, so "the
+/// coordinate moved against the direction of travel" can only mean a wrap.
+/// The source coordinate of the *dimension* equals the packet's source
+/// coordinate: under dimension-ordered routing the other dimension is
+/// untouched until this one completes.
+fn dateline_crossed(mesh: &Mesh, cur: Coord, src: Coord, d: Direction) -> bool {
+    let last = (mesh.radix() - 1) as u16;
+    match d {
+        Direction::East => cur.x < src.x || cur.x == last,
+        Direction::West => cur.x > src.x || cur.x == 0,
+        Direction::South => cur.y < src.y || cur.y == last,
+        Direction::North => cur.y > src.y || cur.y == 0,
+    }
+}
+
+fn direction_toward(mesh: &Mesh, cur: Coord, target: Coord, phase: Phase) -> OutPort {
     let x_step = || {
-        if target.x > cur.x {
+        if mesh.is_torus() {
+            // Shortest way around the row ring; ties break East so the
+            // choice stays consistent along the route.
+            let k = mesh.radix() as u16;
+            let delta_e = (target.x + k - cur.x) % k;
+            if delta_e <= k / 2 {
+                OutPort::Dir(Direction::East)
+            } else {
+                OutPort::Dir(Direction::West)
+            }
+        } else if target.x > cur.x {
             OutPort::Dir(Direction::East)
         } else {
             OutPort::Dir(Direction::West)
         }
     };
     let y_step = || {
-        if target.y > cur.y {
+        if mesh.is_torus() {
+            let k = mesh.radix() as u16;
+            let delta_s = (target.y + k - cur.y) % k;
+            if delta_s <= k / 2 {
+                OutPort::Dir(Direction::South)
+            } else {
+                OutPort::Dir(Direction::North)
+            }
+        } else if target.y > cur.y {
             OutPort::Dir(Direction::South)
         } else {
             OutPort::Dir(Direction::North)
@@ -740,6 +787,78 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn torus_dor_routes_are_wrap_minimal() {
+        let mesh = Mesh::torus(6);
+        let l = VcLayout::new(4, 2, false).with_dateline();
+        let mut r = rng();
+        for src in mesh.nodes() {
+            for dst in mesh.nodes() {
+                if src == dst {
+                    continue;
+                }
+                let p = trace_path(
+                    RoutingKind::DorXy,
+                    &l,
+                    &mesh,
+                    src,
+                    dst,
+                    PacketClass::Request,
+                    &mut r,
+                )
+                .unwrap();
+                assert_eq!(p.len() as u32 - 1, mesh.distance(src, dst), "{src}->{dst}");
+            }
+        }
+    }
+
+    #[test]
+    fn torus_wrap_route_goes_the_short_way() {
+        let mesh = Mesh::torus(6);
+        let l = VcLayout::new(4, 2, false).with_dateline();
+        let p = trace_path(
+            RoutingKind::DorXy,
+            &l,
+            &mesh,
+            mesh.node(Coord::new(5, 0)),
+            mesh.node(Coord::new(1, 0)),
+            PacketClass::Request,
+            &mut rng(),
+        )
+        .unwrap();
+        let xs: Vec<u16> = p.iter().map(|&n| mesh.coord(n).x).collect();
+        assert_eq!(xs, vec![5, 0, 1], "two wrap-east hops beat four mesh-west hops");
+    }
+
+    #[test]
+    fn torus_dateline_vcs_switch_at_the_wrap_edge() {
+        let mesh = Mesh::torus(6);
+        let l = VcLayout::new(4, 2, false).with_dateline();
+        let src = mesh.node(Coord::new(4, 0));
+        let dst = mesh.node(Coord::new(1, 0));
+        let mut hdr = crate::packet::Packet::new(PacketClass::Request, src, dst, 8, 0).header;
+        let mut node = src;
+        let mut sets = Vec::new();
+        loop {
+            let dec = next_hop(RoutingKind::DorXy, &l, &mesh, node, &mut hdr);
+            match dec.out {
+                OutPort::Eject => break,
+                OutPort::Dir(d) => {
+                    sets.push(dec.vcs);
+                    node = mesh.neighbor(node, d).unwrap();
+                }
+            }
+        }
+        // x = 4 (before the dateline), 5 (the wrap hop), 0 (after): the
+        // request class holds VCs 0..2, split 0 = not-crossed / 1 = crossed.
+        assert_eq!(sets, vec![VcSet::new(0, 1), VcSet::new(1, 1), VcSet::new(1, 1)]);
+
+        // A route that never wraps stays in the lower half throughout.
+        let mut hdr = crate::packet::Packet::new(PacketClass::Request, 0, 3, 8, 0).header;
+        let dec = next_hop(RoutingKind::DorXy, &l, &mesh, 0, &mut hdr);
+        assert_eq!(dec.vcs, VcSet::new(0, 1));
     }
 
     #[test]

@@ -395,6 +395,100 @@ proptest! {
     }
 }
 
+// Torus neighbor symmetry: stepping in direction d and then back in
+// d.opposite() returns to the start from *every* node — including across
+// the wraparound links, where the mesh would have fallen off the edge.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+    #[test]
+    fn torus_neighbor_is_symmetric_across_wraparound(
+        k in prop::sample::select(vec![2usize, 3, 4, 6, 8]),
+        node_i in 0usize..100,
+    ) {
+        use tenoc_noc::Direction;
+        let torus = Mesh::torus(k);
+        let node = node_i % torus.len();
+        for d in [Direction::North, Direction::East, Direction::South, Direction::West] {
+            let n = torus.neighbor(node, d);
+            prop_assert!(n.is_some(), "every torus node has all four neighbors");
+            let back = torus.neighbor(n.unwrap(), d.opposite());
+            prop_assert_eq!(back, Some(node), "step {d:?} then back must return home");
+        }
+    }
+}
+
+// coord/node round-trip on every fabric: node(coord(n)) == n and
+// coord(node(c)) == c for all in-range values.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+    #[test]
+    fn coord_node_round_trip(
+        k in prop::sample::select(vec![2usize, 3, 4, 6, 8]),
+        node_i in 0usize..100,
+    ) {
+        for mesh in [Mesh::all_full(k), Mesh::torus(k), Mesh::cmesh(k, 2)] {
+            let node = node_i % mesh.len();
+            prop_assert_eq!(mesh.node(mesh.coord(node)), node);
+            let c = Coord::new((node % k) as u16, (node / k) as u16);
+            prop_assert_eq!(mesh.coord(mesh.node(c)), c);
+        }
+    }
+}
+
+// Torus DOR routes are minimal under the *wrap-aware* metric: hop count
+// equals the per-dimension min(d, k - d) distance, which is at most the
+// mesh's Manhattan distance and strictly smaller whenever a wrap helps.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+    #[test]
+    fn torus_routes_match_wrap_aware_distance(
+        k in prop::sample::select(vec![3usize, 4, 5, 6, 8]),
+        src_i in 0usize..100,
+        dst_i in 0usize..100,
+    ) {
+        let torus = Mesh::torus(k);
+        let layout = VcLayout::new(4, 2, false).with_dateline();
+        let src = src_i % torus.len();
+        let dst = dst_i % torus.len();
+        let mut rng = SmallRng::seed_from_u64(7);
+        let path =
+            trace_path(RoutingKind::DorXy, &layout, &torus, src, dst, PacketClass::Request, &mut rng)
+                .unwrap();
+        prop_assert_eq!(*path.last().unwrap(), dst);
+        prop_assert_eq!(path.len() as u32 - 1, torus.distance(src, dst));
+        let s = torus.coord(src);
+        let d = torus.coord(dst);
+        let wrap_aware = |a: u16, b: u16| {
+            let delta = a.abs_diff(b) as usize;
+            delta.min(k - delta) as u32
+        };
+        prop_assert_eq!(torus.distance(src, dst), wrap_aware(s.x, d.x) + wrap_aware(s.y, d.y));
+        prop_assert!(torus.distance(src, dst) <= s.manhattan(d));
+    }
+}
+
+// C-mesh terminal mapping is a bijection: every terminal maps to exactly
+// one (router, local port) slot and every slot hosts exactly one terminal.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn cmesh_terminal_router_mapping_is_a_bijection(
+        k in prop::sample::select(vec![2usize, 3, 4, 6]),
+        conc in prop::sample::select(vec![2u8, 3, 4]),
+    ) {
+        let cmesh = Mesh::cmesh(k, conc);
+        prop_assert_eq!(cmesh.terminals(), cmesh.len() * conc as usize);
+        let mut seen = std::collections::HashSet::new();
+        for t in 0..cmesh.terminals() {
+            let slot = (cmesh.terminal_router(t), cmesh.terminal_port(t));
+            prop_assert!(slot.0 < cmesh.len());
+            prop_assert!(slot.1 < conc as usize);
+            prop_assert!(seen.insert(slot), "terminal {t} collides on slot {slot:?}");
+        }
+        prop_assert_eq!(seen.len(), cmesh.terminals(), "every slot hosts one terminal");
+    }
+}
+
 // Hand-check a known unroutable pair to pin the error contract.
 #[test]
 fn known_unroutable_pair() {

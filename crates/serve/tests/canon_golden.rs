@@ -1,0 +1,40 @@
+//! Golden canonical content addresses for the tiny grid.
+//!
+//! The serve cache is content-addressed: any drift in these keys orphans
+//! every previously journaled cell and silently re-simulates the world.
+//! The 16-hex-digit keys below were recorded when the canonical scheme
+//! was frozen; they must stay byte-identical for every existing mesh
+//! configuration across refactors (topology abstraction included). A new
+//! fabric may *add* keys, but these nine may never change.
+
+use tenoc_harness::golden::tiny_grid;
+use tenoc_serve::canon::cell_key;
+
+const GOLDEN: [(&str, &str, &str); 9] = [
+    ("TB-DOR", "HIS", "dd26ab2d3b1e70e0"),
+    ("TB-DOR", "MM", "692552a4adc49e83"),
+    ("TB-DOR", "RD", "10b124c6416d5c04"),
+    ("CP-CR-4VC", "HIS", "fd864660951dc838"),
+    ("CP-CR-4VC", "MM", "e373aa96f85c336b"),
+    ("CP-CR-4VC", "RD", "0c5305f7e1d1b885"),
+    ("Thr-Eff", "HIS", "a4b39351c0fecc7a"),
+    ("Thr-Eff", "MM", "25669b3e1ee88363"),
+    ("Thr-Eff", "RD", "31f9ea8b3f74d775"),
+];
+
+#[test]
+fn tiny_grid_canonical_keys_are_byte_identical_to_seed() {
+    let g = tiny_grid();
+    assert_eq!(g.len(), GOLDEN.len());
+    for (i, &(label, bench, key)) in GOLDEN.iter().enumerate() {
+        let c = g.cell(i);
+        assert_eq!(c.preset.label(), label, "cell {i} preset");
+        assert_eq!(c.benchmark, bench, "cell {i} benchmark");
+        assert_eq!(
+            cell_key(&c),
+            key,
+            "cell {i} ({label}/{bench}): canonical content address drifted — existing \
+             cache entries would be orphaned"
+        );
+    }
+}

@@ -18,7 +18,7 @@
 
 use std::collections::{HashMap, HashSet, VecDeque};
 use tenoc_noc::routing::VcSet;
-use tenoc_noc::{Coord, Direction, Mesh, NodeId, PacketClass, Phase};
+use tenoc_noc::{Direction, Mesh, NodeId, PacketClass, Phase};
 
 /// The packet population that introduced a dependency edge. The first
 /// witness wins; it is reported when the edge participates in a cycle.
@@ -49,7 +49,7 @@ impl std::fmt::Display for Witness {
 
 /// A channel dependency graph at virtual-channel granularity.
 pub struct Cdg {
-    radix: usize,
+    mesh: Mesh,
     total_vcs: usize,
     n_vertices: usize,
     adj: Vec<Vec<u32>>,
@@ -63,7 +63,7 @@ impl Cdg {
     pub fn new(mesh: &Mesh, total_vcs: u8) -> Self {
         let n_vertices = mesh.len() * 4 * total_vcs as usize;
         Cdg {
-            radix: mesh.radix(),
+            mesh: mesh.clone(),
             total_vcs: total_vcs as usize,
             n_vertices,
             adj: vec![Vec::new(); n_vertices],
@@ -120,19 +120,28 @@ impl Cdg {
         self.edges.len()
     }
 
-    /// Human-readable name of a vertex: `(x,y)->(x',y') vc<n>`.
+    /// Human-readable name of a vertex: `(x,y)->(x',y') vc<n>`. The target
+    /// comes from the topology's own `neighbor` function, so a torus wrap
+    /// link reads `(k-1,y)->(0,y)` rather than a phantom off-grid node.
     pub fn describe_vertex(&self, v: u32) -> String {
         let v = v as usize;
         let vc = v % self.total_vcs;
         let rest = v / self.total_vcs;
         let dir = Direction::from_index(rest % 4);
         let node = rest / 4;
-        let from = Coord::new((node % self.radix) as u16, (node / self.radix) as u16);
-        let (tx, ty) = match dir {
-            Direction::North => (from.x as i32, from.y as i32 - 1),
-            Direction::East => (from.x as i32 + 1, from.y as i32),
-            Direction::South => (from.x as i32, from.y as i32 + 1),
-            Direction::West => (from.x as i32 - 1, from.y as i32),
+        let from = self.mesh.coord(node);
+        let (tx, ty) = match self.mesh.neighbor(node, dir) {
+            Some(n) => {
+                let c = self.mesh.coord(n);
+                (c.x as i32, c.y as i32)
+            }
+            // Off-grid mesh edges keep the historical arithmetic naming.
+            None => match dir {
+                Direction::North => (from.x as i32, from.y as i32 - 1),
+                Direction::East => (from.x as i32 + 1, from.y as i32),
+                Direction::South => (from.x as i32, from.y as i32 + 1),
+                Direction::West => (from.x as i32 - 1, from.y as i32),
+            },
         };
         format!("({},{})->({tx},{ty}) vc{vc} [{dir}]", from.x, from.y)
     }

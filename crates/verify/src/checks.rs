@@ -156,7 +156,7 @@ pub fn run(cfg: &NetworkConfig, findings: &mut Vec<Finding>, stats: &mut VerifyS
     minimality.into_finding(
         CheckKind::Minimality,
         format!(
-            "all {} traced routes are minimal (hop count == Manhattan distance)",
+            "all {} traced routes are minimal (hop count == shortest-path distance)",
             stats.plans_traced
         ),
         findings,
@@ -226,10 +226,10 @@ fn check_route(
         ));
         return;
     }
-    let dist = mesh.coord(src).manhattan(mesh.coord(dst));
+    let dist = mesh.distance(src, dst);
     if t.hops.len() as u32 != dist {
         minimality.push(format!(
-            "{} takes {} hops, Manhattan distance is {dist}",
+            "{} takes {} hops, shortest-path distance is {dist}",
             label(),
             t.hops.len()
         ));
@@ -292,8 +292,9 @@ fn check_mc_reachability(cfg: &NetworkConfig, routability: &mut Tally) {
     }
 }
 
-/// The (class, phase) VC sets the routing function hands out must tile
-/// the physical VCs exactly: no overlap between distinct sets (overlap
+/// The (class, phase) VC sets the routing function hands out — further
+/// split into pre-/post-dateline halves on a torus — must tile the
+/// physical VCs exactly: no overlap between distinct sets (overlap
 /// re-couples traffic the layout claims to isolate) and no unused VC
 /// (dead buffering the area model would still pay for).
 fn check_vc_partition(cfg: &NetworkConfig, findings: &mut Vec<Finding>) {
@@ -307,9 +308,19 @@ fn check_vc_partition(cfg: &NetworkConfig, findings: &mut Vec<Finding>) {
     let mut sets: Vec<(String, VcSet)> = Vec::new();
     for &class in classes {
         for &phase in phases {
-            let set = vc_set_for(kind, layout, class, phase);
-            if !sets.iter().any(|(_, s)| *s == set) {
-                sets.push((format!("({class:?}, {phase:?})"), set));
+            if layout.split_dateline {
+                for crossed in [false, true] {
+                    let set = layout.dateline_set(class, phase, crossed);
+                    let tag = if crossed { "post-dateline" } else { "pre-dateline" };
+                    if !sets.iter().any(|(_, s)| *s == set) {
+                        sets.push((format!("({class:?}, {phase:?}, {tag})"), set));
+                    }
+                }
+            } else {
+                let set = vc_set_for(kind, layout, class, phase);
+                if !sets.iter().any(|(_, s)| *s == set) {
+                    sets.push((format!("({class:?}, {phase:?})"), set));
+                }
             }
         }
     }

@@ -56,7 +56,8 @@ pub enum CheckKind {
     ProtocolSeparation,
     /// No turns at half-routers; all hops use allowed connections.
     TurnLegality,
-    /// Hop count equals Manhattan distance for every route.
+    /// Hop count equals the fabric's shortest-path distance (Manhattan on
+    /// the mesh, wrap-aware on the torus) for every route.
     Minimality,
     /// Unroutable pairs match the specification; MC placement safe.
     Routability,
@@ -194,13 +195,24 @@ impl std::fmt::Display for VerifyReport {
 fn subject_of(cfg: &NetworkConfig) -> String {
     let k = cfg.mesh.radix();
     let half = cfg.mesh.nodes().filter(|&n| cfg.mesh.is_half(n)).count();
+    let fabric = match cfg.mesh.fabric() {
+        tenoc_noc::Fabric::Mesh => {
+            if half > 0 {
+                "checkerboard mesh".to_string()
+            } else {
+                "full-router mesh".to_string()
+            }
+        }
+        tenoc_noc::Fabric::Torus => "torus".to_string(),
+        tenoc_noc::Fabric::CMesh { conc } => format!("c-mesh (conc {conc})"),
+    };
     format!(
-        "{k}x{k} {} mesh, {:?} routing, {} VCs ({} class(es){})",
-        if half > 0 { "checkerboard" } else { "full-router" },
+        "{k}x{k} {fabric}, {:?} routing, {} VCs ({} class(es){}{})",
         cfg.routing,
         cfg.vcs.total,
         cfg.vcs.classes,
         if cfg.vcs.split_phases { ", phase-split" } else { "" },
+        if cfg.vcs.split_dateline { ", dateline-split" } else { "" },
     )
 }
 
@@ -334,6 +346,59 @@ mod tests {
             .expect("deadlock violation present");
         assert!(deadlock.message.contains("cycle of length"), "{}", deadlock.message);
         assert!(deadlock.message.contains("->"), "cycle must list its edges");
+    }
+
+    #[test]
+    fn baseline_torus_is_clean() {
+        let report = analyze(&NetworkConfig::baseline_torus(6));
+        assert!(report.is_clean(), "{report}");
+        assert!(report.subject.contains("torus"), "{}", report.subject);
+        assert!(report.subject.contains("dateline-split"), "{}", report.subject);
+        // Wrap links are real channels: 4k^2 of them, each carrying VCs.
+        assert!(report.stats.cdg_vertices > 0);
+    }
+
+    #[test]
+    fn concentrated_mesh_is_clean() {
+        let report = analyze(&NetworkConfig::concentrated_mesh(6, 2));
+        assert!(report.is_clean(), "{report}");
+        assert!(report.subject.contains("c-mesh (conc 2)"), "{}", report.subject);
+    }
+
+    /// The torus acceptance case, mirroring the checkerboard-without-
+    /// phase-split witness: DOR on a torus without dateline VCs must be
+    /// flagged with a concrete CDG cycle that crosses a wraparound link.
+    #[test]
+    fn torus_without_dateline_reports_a_cycle_crossing_the_wrap_link() {
+        let mut cfg = NetworkConfig::baseline_torus(4);
+        cfg.vcs = VcLayout::new(4, 2, false); // dateline split dropped
+        let report = analyze(&cfg);
+        assert!(!report.is_clean());
+        assert!(report.has_violation(CheckKind::Config), "validate() must also complain");
+        assert!(
+            report.has_violation(CheckKind::RoutingDeadlock),
+            "the ring CDG must be cyclic: {report}"
+        );
+        let deadlock = report
+            .violations()
+            .find(|f| f.check == CheckKind::RoutingDeadlock)
+            .expect("deadlock violation present");
+        assert!(deadlock.message.contains("cycle of length"), "{}", deadlock.message);
+        // The cycle must traverse a wraparound edge: an edge whose source
+        // sits on the grid rim and whose target is on the opposite rim.
+        let k = 4;
+        let rim = (k - 1).to_string();
+        let wrap_patterns = [
+            // East wrap: (k-1, y) -> (0, y); West wrap: (0, y) -> (k-1, y);
+            // South wrap: (x, k-1) -> (x, 0); North wrap: (x, 0) -> (x, k-1).
+            (0..k).map(|y| format!("({rim},{y})->(0,{y})")).collect::<Vec<_>>(),
+            (0..k).map(|y| format!("(0,{y})->({rim},{y})")).collect(),
+            (0..k).map(|x| format!("({x},{rim})->({x},0)")).collect(),
+            (0..k).map(|x| format!("({x},0)->({x},{rim})")).collect(),
+        ];
+        let crosses_wrap =
+            wrap_patterns.iter().flatten().any(|p| deadlock.message.contains(p.as_str()));
+        assert!(crosses_wrap, "cycle must cross a wraparound link:\n{}", deadlock.message);
     }
 
     /// A single VC class shared by everything is just as deadlocked.

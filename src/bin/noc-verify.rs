@@ -9,8 +9,15 @@
 //! outcomes apart: **0** all verified presets pass, **1** at least one
 //! preset has a violation, **2** usage error (unknown flag or preset).
 //!
+//! `--negative NAME` inverts the exercise: it builds a known-broken
+//! configuration (e.g. a torus without dateline VCs) and reports the
+//! prover's concrete deadlock witness. The violation is the expected
+//! outcome, so the run still exits 1 — CI asserts the exit code *and*
+//! that the JSON carries the witness.
+//!
 //! ```text
-//! noc-verify [--all-presets] [--preset LABEL] [--k N] [--verbose] [--json]
+//! noc-verify [--all-presets] [--preset LABEL] [--negative NAME] [--k N]
+//!            [--verbose] [--json]
 //! ```
 
 #![forbid(unsafe_code)]
@@ -22,13 +29,15 @@ use tenoc_core::presets::Preset;
 use tenoc_core::system::IcntConfig;
 use tenoc_verify::{analyze, analyze_double, VerifyReport};
 
-const USAGE: &str =
-    "usage: noc-verify [--all-presets] [--preset LABEL] [--k N] [--verbose] [--json]
-  --all-presets   verify every named preset (default)
-  --preset LABEL  verify only the preset with this label (e.g. CP-CR-4VC)
-  --k N           mesh radix (default 6, the paper's scale)
-  --verbose       print full reports for passing presets too
-  --json          emit one machine-readable JSON report on stdout
+const USAGE: &str = "usage: noc-verify [--all-presets] [--preset LABEL] [--negative NAME] \
+[--k N] [--verbose] [--json]
+  --all-presets    verify every named preset (default)
+  --preset LABEL   verify only the preset with this label (e.g. CP-CR-4VC)
+  --negative NAME  demonstrate a known-broken config's deadlock witness
+                   (NAME: torus-no-dateline); exits 1 with the witness
+  --k N            mesh radix (default 6, the paper's scale)
+  --verbose        print full reports for passing presets too
+  --json           emit one machine-readable JSON report on stdout
 exit codes: 0 all pass, 1 violation(s), 2 usage error";
 
 fn main() -> ExitCode {
@@ -36,6 +45,7 @@ fn main() -> ExitCode {
     let mut verbose = false;
     let mut json = false;
     let mut preset_filter: Option<String> = None;
+    let mut negative: Option<String> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -44,6 +54,10 @@ fn main() -> ExitCode {
             "--preset" => match args.next() {
                 Some(label) => preset_filter = Some(label),
                 None => return usage_error("--preset needs a label"),
+            },
+            "--negative" => match args.next() {
+                Some(name) => negative = Some(name),
+                None => return usage_error("--negative needs a witness name"),
             },
             "--k" => match args.next().and_then(|v| v.parse().ok()) {
                 Some(n) if n >= 2 => k = n,
@@ -57,6 +71,10 @@ fn main() -> ExitCode {
             }
             other => return usage_error(&format!("unknown argument {other:?}")),
         }
+    }
+
+    if let Some(name) = negative {
+        return run_negative(&name, k, json);
     }
 
     let mut matched = false;
@@ -121,6 +139,51 @@ fn main() -> ExitCode {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS
+    }
+}
+
+/// Builds the named known-broken configuration, runs the prover and
+/// reports its concrete deadlock witness. Exits 1 when the expected
+/// violation is found (the JSON report has `ok: false` and carries the
+/// witness strings); a *clean* report means the prover lost the witness
+/// and exits 2 so CI distinguishes the regression from a usage error.
+fn run_negative(name: &str, k: usize, json: bool) -> ExitCode {
+    use tenoc_noc::{NetworkConfig, VcLayout};
+    let cfg = match name {
+        "torus-no-dateline" => {
+            let mut c = NetworkConfig::baseline_torus(k);
+            c.vcs = VcLayout::new(4, 2, false);
+            c
+        }
+        other => {
+            return usage_error(&format!(
+                "unknown negative witness {other:?}; known: torus-no-dateline"
+            ))
+        }
+    };
+    let report = analyze(&cfg);
+    if json {
+        let top = serde::json::Value::Object(vec![
+            ("k".to_string(), (k as u64).to_value()),
+            ("ok".to_string(), report.is_clean().to_value()),
+            ("negative".to_string(), name.to_value()),
+            (
+                "presets".to_string(),
+                serde::json::Value::Array(vec![json_entry(name, Some(&report))]),
+            ),
+        ]);
+        println!("{}", top.to_json_pretty());
+    } else if report.is_clean() {
+        println!("{name:<24} CLEAN (expected a deadlock witness!)");
+    } else {
+        println!("{name:<24} WITNESS FOUND (expected)");
+        print!("{report}");
+    }
+    if report.is_clean() {
+        eprintln!("noc-verify: negative witness {name:?} verified clean — prover regression");
+        ExitCode::from(2)
+    } else {
+        ExitCode::FAILURE
     }
 }
 

@@ -81,11 +81,13 @@ fn usage() -> ExitCode {
                      (submit a grid to a running service; --stats fetches the\n\
                       service counters instead)\n\
            openloop  --preset <NAME> [--hotspot] [--rate F]\n\
-           engine-bench [--scale F] [--batch N] [--out FILE] (simulator speed probe)\n\
+           engine-bench [--preset NAME] [--scale F] [--batch N] [--out FILE]\n\
+                     (simulator speed probe; default preset thr-eff)\n\
            area      (Table VI summary)\n\
            classify  [--scale F] (measured LL/LH/HH classes)\n\
            list      (benchmarks and presets)\n\
-         presets: baseline 2x-bw 1-cycle cp-dor cp-dor-4vc cp-cr double thr-eff cp-cr-2p perfect"
+         presets: baseline 2x-bw 1-cycle cp-dor cp-dor-4vc cp-cr double thr-eff\n\
+                  cp-cr-2p torus cmesh perfect"
     );
     ExitCode::FAILURE
 }
@@ -223,7 +225,7 @@ fn main() -> ExitCode {
                 );
             }
             println!("\npresets: baseline, 2x-bw, 1-cycle, cp-dor, cp-dor-4vc, cp-cr,");
-            println!("         double, thr-eff, cp-cr-2p, perfect");
+            println!("         double, thr-eff, cp-cr-2p, torus, cmesh, perfect");
         }
         _ => return usage(),
     }
@@ -397,12 +399,13 @@ fn prior_history(path: &str) -> Vec<String> {
 }
 
 /// `tenoc engine-bench`: measure how fast the simulator itself runs —
-/// simulated interconnect cycles per wall-clock second — on the paper's
-/// combined throughput-effective design point (fig. 20) driving the RD
-/// benchmark. With `--batch N`, additionally runs N seed-varied copies of
-/// the probe in lockstep on the arena engine and reports the aggregate
-/// rate. Each run appends a dated entry to the output file's `history`
-/// array, so `BENCH_engine.json` carries the perf trajectory across PRs.
+/// simulated interconnect cycles per wall-clock second — on one design
+/// point (default: the paper's combined throughput-effective design,
+/// fig. 20; select another with `--preset`) driving the RD benchmark.
+/// With `--batch N`, additionally runs N seed-varied copies of the probe
+/// in lockstep on the arena engine and reports the aggregate rate. Each
+/// run appends a dated entry to the output file's `history` array, so
+/// `BENCH_engine.json` carries the perf trajectory across PRs.
 fn cmd_engine_bench(flags: &HashMap<String, String>) -> ExitCode {
     // Pre-refactor engine speed on the identical probe (thr-eff / RD at
     // scale 1.0, one job): 187646 simulated icnt cycles in 23.26 s of
@@ -417,7 +420,16 @@ fn cmd_engine_bench(flags: &HashMap<String, String>) -> ExitCode {
         eprintln!("engine-bench: RD benchmark missing");
         return ExitCode::FAILURE;
     };
-    let preset = Preset::ThroughputEffective;
+    let preset = match flags.get("preset") {
+        None => Preset::ThroughputEffective,
+        Some(name) => match preset_by_flag(name) {
+            Some(p) => p,
+            None => {
+                eprintln!("engine-bench: unknown preset {name}");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
     eprintln!("engine-bench: {} on {} at scale {scale}, batch {batch}", spec.name, preset.label());
 
     // Single-cell rate on the per-cell oracle kernel (the B=1 reference).
@@ -467,11 +479,12 @@ fn cmd_engine_bench(flags: &HashMap<String, String>) -> ExitCode {
 
     let path = flags.get("out").map(String::as_str).unwrap_or("BENCH_engine.json");
     let entry = format!(
-        "{{\"date\":\"{}\",\"scale\":{},\"sim_cycles\":{},\"wall_nanos\":{},\
+        "{{\"date\":\"{}\",\"preset\":\"{}\",\"scale\":{},\"sim_cycles\":{},\"wall_nanos\":{},\
          \"sim_cycles_per_sec\":{:.1},\"batch\":{},\"batch_sim_cycles\":{},\
          \"batch_wall_nanos\":{},\"aggregate_cycles_per_sec\":{:.1},\
          \"aggregate_speedup_over_single\":{:.2}}}",
         utc_date_string(),
+        preset.label(),
         scale,
         m.icnt_cycles,
         wall_nanos,

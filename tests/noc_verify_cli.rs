@@ -2,10 +2,10 @@
 //! exit code 0 with parseable `--json` output when every preset passes,
 //! exit code 2 on usage errors, and PASS lines in the human format.
 //!
-//! (Exit code 1 — a real violation — is covered at the library level by
-//! `tenoc-core`'s preset conformance tests plus the illegal-variant
-//! entries of the audit golden; the shipped presets are all legal, so the
-//! binary has no violating input to run here.)
+//! Exit code 1 — a real violation — is exercised through the
+//! `--negative torus-no-dateline` demonstration (ISSUE 9 satellite): the
+//! binary builds a torus whose VCs ignore the dateline and must report a
+//! concrete CDG cycle crossing a wraparound link.
 
 use serde::json::Value;
 use std::process::Command;
@@ -61,6 +61,46 @@ fn usage_errors_exit_with_code_two() {
             String::from_utf8_lossy(&out.stderr)
         );
     }
+}
+
+#[test]
+fn negative_witness_json_carries_the_wrap_crossing_cycle() {
+    let out = noc_verify()
+        .args(["--json", "--negative", "torus-no-dateline", "--k", "4"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "the demonstrated violation must exit 1; stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    let v = serde::json::parse(&text).expect("stdout is valid JSON");
+    assert_eq!(v.field("ok").unwrap(), &Value::Bool(false));
+    assert_eq!(v.field("negative").unwrap().as_str().unwrap(), "torus-no-dateline");
+    let rows = v.field("presets").unwrap().as_array().unwrap();
+    assert_eq!(rows.len(), 1);
+    assert_eq!(rows[0].field("status").unwrap().as_str().unwrap(), "fail");
+    let violations = rows[0].field("violations").unwrap().as_array().unwrap();
+    assert!(!violations.is_empty(), "the witness must ride in the JSON report");
+    let all = violations.iter().map(|v| v.as_str().unwrap()).collect::<Vec<_>>().join("\n");
+    assert!(all.contains("cycle"), "no dependency cycle in: {all}");
+    // The cycle must cross a wraparound link: on a k=4 torus those read
+    // (3,y)->(0,y), (0,y)->(3,y), (x,3)->(x,0) or (x,0)->(x,3).
+    let crosses_wrap = (0..4).any(|i| {
+        all.contains(&format!("(3,{i})->(0,{i})"))
+            || all.contains(&format!("(0,{i})->(3,{i})"))
+            || all.contains(&format!("({i},3)->({i},0)"))
+            || all.contains(&format!("({i},0)->({i},3)"))
+    });
+    assert!(crosses_wrap, "cycle does not cross the wraparound link: {all}");
+}
+
+#[test]
+fn negative_witness_rejects_unknown_names() {
+    let out = noc_verify().args(["--negative", "no-such-witness"]).output().expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
 }
 
 #[test]
