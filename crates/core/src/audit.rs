@@ -97,6 +97,14 @@ pub struct AuditEntry {
     pub te_score: f64,
 }
 
+impl AuditEntry {
+    /// The metrics of one traffic matrix, when the entry was legal and
+    /// physical (illegal and ideal entries carry no load analysis).
+    pub fn matrix(&self, m: TrafficMatrix) -> Option<&MatrixMetrics> {
+        self.matrices.iter().find(|x| x.matrix == m.label())
+    }
+}
+
 /// A full config-space audit.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct AuditReport {
@@ -165,13 +173,7 @@ pub fn audit_icnt(name: &str, icnt: &IcntConfig) -> AuditEntry {
     }
 
     let area = AreaModel::chip_area(icnt);
-    let te_score = matrices
-        .iter()
-        .find(|m| m.matrix == TrafficMatrix::ManyToFew.label())
-        .map(|m| 1000.0 * m.accepted_bound / area.total())
-        .unwrap_or(0.0);
-
-    AuditEntry {
+    let mut entry = AuditEntry {
         name: name.to_string(),
         subject: verify.subject.clone(),
         legal,
@@ -180,8 +182,13 @@ pub fn audit_icnt(name: &str, icnt: &IcntConfig) -> AuditEntry {
         matrices,
         area_mm2: area.total(),
         noc_area_mm2: area.noc(),
-        te_score,
-    }
+        te_score: 0.0,
+    };
+    entry.te_score = entry
+        .matrix(TrafficMatrix::ManyToFew)
+        .map(|m| 1000.0 * m.accepted_bound / area.total())
+        .unwrap_or(0.0);
+    entry
 }
 
 /// Named illegal variants included in the default grid so the audit

@@ -82,15 +82,12 @@ pub fn run_sweep(grid: &SweepGrid, jobs: usize) -> Vec<RunRecord> {
     run_grid(grid, jobs).into_iter().map(|r| annotate(&r)).collect()
 }
 
-/// `true` when a cell may run on the batched arena engine: no telemetry
-/// (that needs the oracle's observability hooks) and a physical network
-/// whose shape fits the arena's packed slabs.
-fn arena_eligible(cell: &SweepCell) -> bool {
-    if cell.telemetry {
-        return false;
-    }
-    match cell.preset.icnt(cell.mesh_k) {
-        IcntConfig::Mesh(c) => ArenaNetwork::supports(&c),
+/// `true` when an interconnect configuration may run on the batched
+/// arena engine: a physical network whose shape fits the arena's packed
+/// slabs.
+pub fn icnt_arena_eligible(icnt: &IcntConfig) -> bool {
+    match icnt {
+        IcntConfig::Mesh(c) => ArenaNetwork::supports(c),
         IcntConfig::Double(c) => {
             c.channel_bytes.is_multiple_of(2) && ArenaNetwork::supports(&c.slice())
         }
@@ -98,17 +95,30 @@ fn arena_eligible(cell: &SweepCell) -> bool {
     }
 }
 
-/// The shape-hash batching key: cells whose keys match build
-/// identically-dimensioned simulators (same topology, VC layout, buffer
-/// depths, ports, clocking) and may run lockstep in one batch. The seed
-/// is excluded — batched cells differ in seeds and traffic by design.
-fn shape_key(cell: &SweepCell) -> String {
-    match cell.preset.icnt(cell.mesh_k) {
+/// The shape-hash batching key over a resolved interconnect: configs
+/// whose keys match build identically-dimensioned simulators (same
+/// topology, VC layout, buffer depths, ports, clocking) and may run
+/// lockstep in one batch. The seed is excluded — batched cells differ in
+/// seeds and traffic by design.
+pub fn icnt_shape_key(icnt: &IcntConfig) -> String {
+    match icnt {
         IcntConfig::Mesh(c) => format!("mesh:{}", c.shape_fingerprint()),
         IcntConfig::Double(c) => format!("double:{}", c.shape_fingerprint()),
         // Ideal networks never reach here (not arena-eligible).
         other => format!("ideal:{other:?}"),
     }
+}
+
+/// `true` when a cell may run on the batched arena engine: no telemetry
+/// (that needs the oracle's observability hooks) and a physical network
+/// whose shape fits the arena's packed slabs.
+fn arena_eligible(cell: &SweepCell) -> bool {
+    !cell.telemetry && icnt_arena_eligible(&cell.preset.icnt(cell.mesh_k))
+}
+
+/// The shape-hash batching key of a sweep cell (see [`icnt_shape_key`]).
+fn shape_key(cell: &SweepCell) -> String {
+    icnt_shape_key(&cell.preset.icnt(cell.mesh_k))
 }
 
 /// The public batching key: `Some(shape)` when the cell may run on the
@@ -166,6 +176,42 @@ enum WorkUnit {
     Batch(Vec<usize>),
 }
 
+/// Groups cell indices into work units by batching key, preserving cell
+/// order within and across groups (first-seen order) so unit composition
+/// depends only on the input, never on the thread schedule. Cells with
+/// key `None` and singleton shapes go to the per-cell oracle (a
+/// singleton gains nothing from the batch path; the oracle kernel is the
+/// measured-and-tested default there).
+fn plan_units(keys: &[Option<String>], batch: usize) -> Vec<WorkUnit> {
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    let mut by_key: HashMap<&str, usize> = HashMap::new();
+    let mut singles: Vec<usize> = Vec::new();
+    for (i, key) in keys.iter().enumerate() {
+        match key {
+            Some(k) => {
+                let slot = *by_key.entry(k.as_str()).or_insert_with(|| {
+                    groups.push(Vec::new());
+                    groups.len() - 1
+                });
+                groups[slot].push(i);
+            }
+            None => singles.push(i),
+        }
+    }
+    let mut units: Vec<WorkUnit> = Vec::new();
+    for group in groups {
+        if group.len() == 1 {
+            units.push(WorkUnit::Oracle(group[0]));
+        } else {
+            for chunk in group.chunks(batch) {
+                units.push(WorkUnit::Batch(chunk.to_vec()));
+            }
+        }
+    }
+    units.extend(singles.into_iter().map(WorkUnit::Oracle));
+    units
+}
+
 /// Runs every cell of `grid`, grouping same-shape cells into lockstep
 /// batches of at most `batch` cells and falling back to the per-cell
 /// oracle for singleton shapes, telemetry cells, and shapes the arena
@@ -180,36 +226,8 @@ pub fn run_grid_batched(grid: &SweepGrid, jobs: usize, batch: usize) -> Vec<Cell
     if batch <= 1 {
         return run_indexed(cells.len(), jobs, |i| run_cell(&cells[i]));
     }
-    // Group arena-eligible cells by shape, preserving cell order within
-    // and across groups (first-seen order) so unit composition depends
-    // only on the grid, never on the thread schedule.
-    let mut groups: Vec<Vec<usize>> = Vec::new();
-    let mut by_key: HashMap<String, usize> = HashMap::new();
-    let mut singles: Vec<usize> = Vec::new();
-    for (i, cell) in cells.iter().enumerate() {
-        if arena_eligible(cell) {
-            let slot = *by_key.entry(shape_key(cell)).or_insert_with(|| {
-                groups.push(Vec::new());
-                groups.len() - 1
-            });
-            groups[slot].push(i);
-        } else {
-            singles.push(i);
-        }
-    }
-    let mut units: Vec<WorkUnit> = Vec::new();
-    for group in groups {
-        if group.len() == 1 {
-            // A singleton shape gains nothing from the batch path; the
-            // oracle kernel is the measured-and-tested default there.
-            units.push(WorkUnit::Oracle(group[0]));
-        } else {
-            for chunk in group.chunks(batch) {
-                units.push(WorkUnit::Batch(chunk.to_vec()));
-            }
-        }
-    }
-    units.extend(singles.into_iter().map(WorkUnit::Oracle));
+    let keys: Vec<Option<String>> = cells.iter().map(batch_shape_key).collect();
+    let units = plan_units(&keys, batch);
 
     let produced: Vec<Vec<(usize, CellResult)>> =
         run_indexed(units.len(), jobs, |u| match &units[u] {
@@ -234,6 +252,119 @@ pub fn run_grid_batched(grid: &SweepGrid, jobs: usize, batch: usize) -> Vec<Cell
 /// Propagates panics from [`run_grid_batched`].
 pub fn run_sweep_batched(grid: &SweepGrid, jobs: usize, batch: usize) -> Vec<RunRecord> {
     run_grid_batched(grid, jobs, batch).into_iter().map(|r| annotate(&r)).collect()
+}
+
+/// A closed-loop cell specified by an explicit interconnect
+/// configuration rather than a named preset — the unit of work for
+/// callers (e.g. the tuner's stage 3) that measure arbitrary design
+/// points. Every non-interconnect parameter stays at its Table II value
+/// via [`SystemConfig::with_icnt`], exactly like preset cells, so a
+/// config cell whose `icnt` equals a preset's produces the same metrics
+/// (and shares the same canonical content address in the result cache).
+#[derive(Clone, Debug)]
+pub struct ConfigCell {
+    /// The fully-resolved interconnect to simulate.
+    pub icnt: IcntConfig,
+    /// Benchmark abbreviation (must exist in `tenoc_workloads`).
+    pub benchmark: String,
+    /// Workload scale factor.
+    pub scale: f64,
+    /// The cell's private traffic/workload seed.
+    pub seed: u64,
+}
+
+/// The fully-resolved system configuration a config cell simulates with
+/// (the analogue of [`cell_system_config`] for explicit-config cells).
+pub fn config_cell_system_config(cell: &ConfigCell) -> SystemConfig {
+    let mut cfg = SystemConfig::with_icnt(cell.icnt.clone());
+    cfg.seed = cell.seed;
+    cfg
+}
+
+/// Runs one config cell to completion on the per-cell oracle engine.
+///
+/// # Panics
+///
+/// Panics if the benchmark name is unknown or the run hits the safety
+/// cycle limit.
+pub fn run_config_cell(cell: &ConfigCell) -> (TrafficClass, RunMetrics) {
+    let spec = tenoc_workloads::by_name(&cell.benchmark)
+        .unwrap_or_else(|| panic!("unknown benchmark {}", cell.benchmark));
+    let metrics = run_with_system_config(config_cell_system_config(cell), &spec, cell.scale);
+    (spec.class, metrics)
+}
+
+/// The batching key of a config cell: `Some(shape)` when it may run on
+/// the lockstep arena engine, `None` when it must use the per-cell
+/// oracle.
+pub fn config_batch_shape_key(cell: &ConfigCell) -> Option<String> {
+    icnt_arena_eligible(&cell.icnt).then(|| icnt_shape_key(&cell.icnt))
+}
+
+/// Runs a set of same-shape config cells in lockstep on the arena
+/// engine, returning `(class, metrics)` in input order — metrics
+/// bit-identical to [`run_config_cell`] on each.
+///
+/// # Panics
+///
+/// Panics if a benchmark is unknown or a run hits the safety cycle
+/// limit.
+pub fn run_config_cells_lockstep(cells: &[ConfigCell]) -> Vec<(TrafficClass, RunMetrics)> {
+    let mut systems = Vec::with_capacity(cells.len());
+    let mut classes = Vec::with_capacity(cells.len());
+    for cell in cells {
+        let spec = tenoc_workloads::by_name(&cell.benchmark)
+            .unwrap_or_else(|| panic!("unknown benchmark {}", cell.benchmark));
+        let mut cfg = config_cell_system_config(cell);
+        cfg.engine = EngineKind::Arena;
+        classes.push(spec.class);
+        systems.push(tenoc_core::System::new(cfg, &spec.scaled(cell.scale)));
+    }
+    let metrics = tenoc_core::run_lockstep(&mut systems);
+    cells
+        .iter()
+        .zip(metrics)
+        .zip(classes)
+        .map(|((cell, m), class)| {
+            assert!(m.completed, "{} did not complete (possible deadlock)", cell.benchmark);
+            (class, m)
+        })
+        .collect()
+}
+
+/// Runs every config cell, grouping same-shape cells into lockstep
+/// batches of at most `batch` cells and falling back to the per-cell
+/// oracle elsewhere — the explicit-config analogue of
+/// [`run_grid_batched`]. Results are in cell order and bit-identical to
+/// [`run_config_cell`] on each at any `jobs` and any `batch` width.
+///
+/// # Panics
+///
+/// Propagates panics from [`run_config_cell`] /
+/// [`run_config_cells_lockstep`].
+pub fn run_config_cells(
+    cells: &[ConfigCell],
+    jobs: usize,
+    batch: usize,
+) -> Vec<(TrafficClass, RunMetrics)> {
+    if batch <= 1 {
+        return run_indexed(cells.len(), jobs, |i| run_config_cell(&cells[i]));
+    }
+    let keys: Vec<Option<String>> = cells.iter().map(config_batch_shape_key).collect();
+    let units = plan_units(&keys, batch);
+    let produced: Vec<Vec<(usize, (TrafficClass, RunMetrics))>> =
+        run_indexed(units.len(), jobs, |u| match &units[u] {
+            WorkUnit::Oracle(i) => vec![(*i, run_config_cell(&cells[*i]))],
+            WorkUnit::Batch(idxs) => {
+                let batch_cells: Vec<ConfigCell> = idxs.iter().map(|&i| cells[i].clone()).collect();
+                idxs.iter().copied().zip(run_config_cells_lockstep(&batch_cells)).collect()
+            }
+        });
+    let mut out: Vec<Option<(TrafficClass, RunMetrics)>> = (0..cells.len()).map(|_| None).collect();
+    for (i, result) in produced.into_iter().flatten() {
+        out[i] = Some(result);
+    }
+    out.into_iter().map(|r| r.expect("every cell ran")).collect()
 }
 
 /// Annotates a raw result with the design point's area/power model and
@@ -341,6 +472,36 @@ mod tests {
         let mut t = cells[0].clone();
         t.telemetry = true;
         assert_eq!(batch_shape_key(&t), None);
+    }
+
+    #[test]
+    fn config_cell_matches_preset_cell_and_batches_identically() {
+        // A config cell resolved from a preset must measure exactly what
+        // the preset cell measures — this is what lets the tuner share
+        // cache entries with preset sweeps.
+        let grid = SweepGrid::new(vec![Preset::BaselineTbDor], vec!["HIS".into()], 0.02);
+        let cell = grid.cell(0);
+        let cfg_cell = ConfigCell {
+            icnt: cell.preset.icnt(cell.mesh_k),
+            benchmark: cell.benchmark.clone(),
+            scale: cell.scale,
+            seed: cell.seed,
+        };
+        let preset_result = run_cell(&cell);
+        let (class, metrics) = run_config_cell(&cfg_cell);
+        assert_eq!(class, preset_result.class);
+        assert_eq!(metrics, preset_result.metrics);
+        assert_eq!(config_batch_shape_key(&cfg_cell), batch_shape_key(&cell));
+
+        // Same-shape config cells batched through the lockstep kernel
+        // are bit-identical to solo runs, at any jobs/batch.
+        let mut b = cfg_cell.clone();
+        b.benchmark = "MM".into();
+        b.seed = cfg_cell.seed ^ 0x5bd1;
+        let cells = vec![cfg_cell.clone(), b.clone()];
+        let solo: Vec<_> = cells.iter().map(run_config_cell).collect();
+        let batched = run_config_cells(&cells, 2, 8);
+        assert_eq!(solo, batched);
     }
 
     #[test]

@@ -6,6 +6,12 @@
 //! reported over packets *generated* during the measurement window,
 //! including source queueing, so the curves exhibit the classic saturation
 //! blow-up as offered load approaches network capacity.
+//!
+//! The harness comes in two shapes over one core: [`run_open_loop`] /
+//! [`run_open_loop_on`] drive a single probe to completion, while
+//! [`OpenLoopProbe`] exposes the same per-cycle loop one `tick` at a
+//! time so a batch driver ([`run_probes_lockstep`]) can interleave many
+//! probes — e.g. the tuner's stage-2 probe groups on the arena engine.
 
 use crate::config::NetworkConfig;
 use crate::interconnect::Interconnect;
@@ -101,6 +107,14 @@ pub struct OpenLoopResult {
     /// is the quantity the static saturation bound (`tenoc-verify`'s
     /// `LoadReport::accepted_bound`) is validated against.
     pub ejection_rate: f64,
+    /// Like [`ejection_rate`](Self::ejection_rate) but in payload *bytes*
+    /// per cycle per node, summed from each ejected packet's true size
+    /// rather than its flit count. Flit counts depend on the channel
+    /// width of the fabric that carried the packet, so this is the
+    /// throughput measure that stays comparable across fabrics of
+    /// different channel widths (including the half-width slices of a
+    /// double network).
+    pub ejection_bytes_rate: f64,
     /// Mean latency of measured packets (generation to ejection),
     /// requests and replies combined.
     pub avg_latency: f64,
@@ -141,55 +155,101 @@ pub fn run_open_loop(cfg: &OpenLoopConfig) -> OpenLoopResult {
 ///
 /// Panics if the configuration has no MC nodes.
 pub fn run_open_loop_on(cfg: &OpenLoopConfig, net: &mut Network) -> OpenLoopResult {
-    assert!(!cfg.net.mc_nodes.is_empty(), "open-loop traffic needs MC nodes");
-    let mcs = cfg.net.mc_nodes.clone();
-    let nodes = cfg.net.mesh.len();
-    let compute: Vec<NodeId> = (0..nodes).filter(|n| !mcs.contains(n)).collect();
-    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let mut core = ProbeCore::new(cfg);
+    while !core.done() {
+        core.tick(cfg, net);
+    }
+    core.result(cfg)
+}
 
-    // Unbounded source queues (standard open-loop methodology).
-    let mut src_q: Vec<VecDeque<Packet>> = vec![VecDeque::new(); nodes];
-    let mut reply_q: Vec<VecDeque<Packet>> = vec![VecDeque::new(); nodes];
+/// The traffic-generation and accounting state of one open-loop probe,
+/// independent of which [`Interconnect`] implementation it drives. One
+/// [`tick`](ProbeCore::tick) is exactly one loop iteration of the
+/// original monolithic runner, so any interleaving of whole ticks across
+/// probes reproduces the solo results bit for bit (probes share no
+/// state).
+struct ProbeCore {
+    mcs: Vec<NodeId>,
+    compute: Vec<NodeId>,
+    nodes: usize,
+    rng: SmallRng,
+    /// Unbounded source queues (standard open-loop methodology).
+    src_q: Vec<VecDeque<Packet>>,
+    reply_q: Vec<VecDeque<Packet>>,
+    now: u64,
+    total: u64,
+    meas_end: u64,
+    generated_measured: u64,
+    delivered_measured: u64,
+    lat_sum: [u64; 2],
+    lat_cnt: [u64; 2],
+    ejected_flits_window: u64,
+    ejected_flits_in_window: u64,
+    ejected_bytes_in_window: u64,
+}
 
-    let total = cfg.warmup + cfg.measure + cfg.drain;
-    let meas_end = cfg.warmup + cfg.measure;
+impl ProbeCore {
+    fn new(cfg: &OpenLoopConfig) -> Self {
+        assert!(!cfg.net.mc_nodes.is_empty(), "open-loop traffic needs MC nodes");
+        let mcs = cfg.net.mc_nodes.clone();
+        let nodes = cfg.net.mesh.len();
+        let compute: Vec<NodeId> = (0..nodes).filter(|n| !mcs.contains(n)).collect();
+        ProbeCore {
+            mcs,
+            compute,
+            nodes,
+            rng: SmallRng::seed_from_u64(cfg.seed),
+            src_q: vec![VecDeque::new(); nodes],
+            reply_q: vec![VecDeque::new(); nodes],
+            now: 0,
+            total: cfg.warmup + cfg.measure + cfg.drain,
+            meas_end: cfg.warmup + cfg.measure,
+            generated_measured: 0,
+            delivered_measured: 0,
+            lat_sum: [0; 2],
+            lat_cnt: [0; 2],
+            ejected_flits_window: 0,
+            ejected_flits_in_window: 0,
+            ejected_bytes_in_window: 0,
+        }
+    }
 
-    let mut generated_measured = 0u64;
-    let mut delivered_measured = 0u64;
-    let mut lat_sum = [0u64; 2];
-    let mut lat_cnt = [0u64; 2];
-    let mut ejected_flits_window = 0u64;
-    let mut ejected_flits_in_window = 0u64;
+    fn done(&self) -> bool {
+        self.now >= self.total
+    }
 
-    for now in 0..total {
+    /// One cycle: generate, drain source queues, service MCs, consume
+    /// replies, step the network.
+    fn tick(&mut self, cfg: &OpenLoopConfig, net: &mut dyn Interconnect) {
+        let now = self.now;
         // Generate new requests at the compute nodes.
-        if now < meas_end {
-            for &c in &compute {
-                if rng.gen_bool(cfg.injection_rate.min(1.0)) {
-                    let dst = pick_mc(&mcs, cfg.pattern, &mut rng);
+        if now < self.meas_end {
+            for &c in &self.compute {
+                if self.rng.gen_bool(cfg.injection_rate.min(1.0)) {
+                    let dst = pick_mc(&self.mcs, cfg.pattern, &mut self.rng);
                     let mut p = Packet::request(c, dst, cfg.request_bytes, 0);
                     p.header.created = now;
-                    src_q[c].push_back(p);
+                    self.src_q[c].push_back(p);
                     if cfg.in_measurement_window(now) {
-                        generated_measured += 1;
+                        self.generated_measured += 1;
                         // Mark measured packets via the tag.
-                        src_q[c].back_mut().unwrap().header.tag = 1;
+                        self.src_q[c].back_mut().unwrap().header.tag = 1;
                     }
                 }
             }
         }
         // Drain source queues into the network.
-        for &c in &compute {
-            while let Some(&p) = src_q[c].front() {
+        for &c in &self.compute {
+            while let Some(&p) = self.src_q[c].front() {
                 if net.try_inject(c, p).is_ok() {
-                    src_q[c].pop_front();
+                    self.src_q[c].pop_front();
                 } else {
                     break;
                 }
             }
         }
         // MCs: service ejected requests, emit replies; drain reply queues.
-        for &mc in &mcs {
+        for &mc in &self.mcs {
             while let Some(req) = net.pop(mc) {
                 let mut rep = Packet::reply(mc, req.header.src, cfg.reply_bytes, req.header.tag);
                 // Stamped at the service cycle, matching the request
@@ -197,72 +257,157 @@ pub fn run_open_loop_on(cfg: &OpenLoopConfig, net: &mut Network) -> OpenLoopResu
                 // inject); stamping now+1 would credit replies one cycle
                 // of latency they never paid.
                 rep.header.created = now;
-                reply_q[mc].push_back(rep);
+                self.reply_q[mc].push_back(rep);
                 if cfg.in_measurement_window(now) {
-                    ejected_flits_in_window += req.header.flits as u64;
+                    self.ejected_flits_in_window += req.header.flits as u64;
+                    self.ejected_bytes_in_window += req.header.size_bytes as u64;
                 }
                 if req.header.tag == 1 {
                     let l = req.total_latency();
-                    lat_sum[0] += l;
-                    lat_cnt[0] += 1;
+                    self.lat_sum[0] += l;
+                    self.lat_cnt[0] += 1;
                     if cfg.in_measurement_window(req.header.created) {
-                        ejected_flits_window += req.header.flits as u64;
+                        self.ejected_flits_window += req.header.flits as u64;
                     }
                 }
             }
-            while let Some(&p) = reply_q[mc].front() {
+            while let Some(&p) = self.reply_q[mc].front() {
                 if net.try_inject(mc, p).is_ok() {
-                    reply_q[mc].pop_front();
+                    self.reply_q[mc].pop_front();
                 } else {
                     break;
                 }
             }
         }
         // Compute nodes: consume replies.
-        for &c in &compute {
+        for &c in &self.compute {
             while let Some(rep) = net.pop(c) {
                 if cfg.in_measurement_window(now) {
-                    ejected_flits_in_window += rep.header.flits as u64;
+                    self.ejected_flits_in_window += rep.header.flits as u64;
+                    self.ejected_bytes_in_window += rep.header.size_bytes as u64;
                 }
                 if rep.header.tag == 1 {
                     let l = rep.total_latency();
-                    lat_sum[1] += l;
-                    lat_cnt[1] += 1;
-                    delivered_measured += 1;
-                    ejected_flits_window += rep.header.flits as u64;
+                    self.lat_sum[1] += l;
+                    self.lat_cnt[1] += 1;
+                    self.delivered_measured += 1;
+                    self.ejected_flits_window += rep.header.flits as u64;
                 }
             }
         }
         net.step();
+        self.now += 1;
     }
 
-    let total_lat: u64 = lat_sum.iter().sum();
-    let total_cnt: u64 = lat_cnt.iter().sum();
-    OpenLoopResult {
-        offered: cfg.injection_rate,
-        accepted: ejected_flits_window as f64 / cfg.measure as f64 / nodes as f64,
-        ejection_rate: ejected_flits_in_window as f64 / cfg.measure as f64 / nodes as f64,
-        avg_latency: if total_cnt == 0 {
-            f64::INFINITY
-        } else {
-            total_lat as f64 / total_cnt as f64
-        },
-        avg_request_latency: if lat_cnt[0] == 0 {
-            f64::INFINITY
-        } else {
-            lat_sum[0] as f64 / lat_cnt[0] as f64
-        },
-        avg_reply_latency: if lat_cnt[1] == 0 {
-            f64::INFINITY
-        } else {
-            lat_sum[1] as f64 / lat_cnt[1] as f64
-        },
-        delivered_fraction: if generated_measured == 0 {
-            1.0
-        } else {
-            delivered_measured as f64 / generated_measured as f64
-        },
+    fn result(&self, cfg: &OpenLoopConfig) -> OpenLoopResult {
+        let total_lat: u64 = self.lat_sum.iter().sum();
+        let total_cnt: u64 = self.lat_cnt.iter().sum();
+        OpenLoopResult {
+            offered: cfg.injection_rate,
+            accepted: self.ejected_flits_window as f64 / cfg.measure as f64 / self.nodes as f64,
+            ejection_rate: self.ejected_flits_in_window as f64
+                / cfg.measure as f64
+                / self.nodes as f64,
+            ejection_bytes_rate: self.ejected_bytes_in_window as f64
+                / cfg.measure as f64
+                / self.nodes as f64,
+            avg_latency: if total_cnt == 0 {
+                f64::INFINITY
+            } else {
+                total_lat as f64 / total_cnt as f64
+            },
+            avg_request_latency: if self.lat_cnt[0] == 0 {
+                f64::INFINITY
+            } else {
+                self.lat_sum[0] as f64 / self.lat_cnt[0] as f64
+            },
+            avg_reply_latency: if self.lat_cnt[1] == 0 {
+                f64::INFINITY
+            } else {
+                self.lat_sum[1] as f64 / self.lat_cnt[1] as f64
+            },
+            delivered_fraction: if self.generated_measured == 0 {
+                1.0
+            } else {
+                self.delivered_measured as f64 / self.generated_measured as f64
+            },
+        }
     }
+}
+
+/// One open-loop probe bundled with the network it drives, advanced one
+/// cycle at a time so a batch driver can interleave many probes. The
+/// network must be freshly built from `cfg.net` (the traffic generator
+/// addresses `cfg.net`'s compute and MC nodes). Probes share no state,
+/// so any whole-tick interleaving — solo, round-robin, lockstep — yields
+/// bit-identical results for every probe.
+pub struct OpenLoopProbe<I> {
+    cfg: OpenLoopConfig,
+    core: ProbeCore,
+    net: I,
+}
+
+impl<I: Interconnect> OpenLoopProbe<I> {
+    /// Wraps a probe around a freshly-built network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration has no MC nodes.
+    pub fn new(cfg: OpenLoopConfig, net: I) -> Self {
+        let core = ProbeCore::new(&cfg);
+        OpenLoopProbe { cfg, core, net }
+    }
+
+    /// `true` once warmup + measurement + drain have all elapsed.
+    pub fn done(&self) -> bool {
+        self.core.done()
+    }
+
+    /// Advances the probe by one cycle (a no-op once done).
+    pub fn tick(&mut self) {
+        if !self.core.done() {
+            self.core.tick(&self.cfg, &mut self.net);
+        }
+    }
+
+    /// The probe's result so far (final once [`done`](Self::done)).
+    pub fn result(&self) -> OpenLoopResult {
+        self.core.result(&self.cfg)
+    }
+
+    /// The network under test (e.g. to read link loads after the run).
+    pub fn network(&self) -> &I {
+        &self.net
+    }
+}
+
+/// Advances a group of probes to completion in bounded lockstep rounds
+/// and returns their results in input order. Intended for same-shape
+/// groups batched on the arena engine, where interleaving keeps the
+/// per-shape routing/geometry tables hot; correctness does not depend on
+/// grouping, and the results are bit-identical to running each probe
+/// solo (probes share no state).
+pub fn run_probes_lockstep<I: Interconnect>(
+    probes: &mut [OpenLoopProbe<I>],
+) -> Vec<OpenLoopResult> {
+    /// Cycles each probe advances per round before the driver moves on.
+    const ROUND_CYCLES: u64 = 1024;
+    loop {
+        let mut advanced = false;
+        for p in probes.iter_mut() {
+            for _ in 0..ROUND_CYCLES {
+                if p.done() {
+                    break;
+                }
+                p.tick();
+                advanced = true;
+            }
+        }
+        if !advanced {
+            break;
+        }
+    }
+    probes.iter().map(|p| p.result()).collect()
 }
 
 fn pick_mc<R: Rng>(mcs: &[NodeId], pattern: TrafficPattern, rng: &mut R) -> NodeId {
@@ -305,6 +450,7 @@ pub fn latency_curve(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::arena::ArenaNetwork;
     use crate::config::NetworkConfig;
 
     fn quick_cfg(rate: f64) -> OpenLoopConfig {
@@ -393,5 +539,62 @@ mod tests {
         let rates = [0.01, 0.3, 0.4, 0.5, 0.6];
         let curve = latency_curve(&base, rates);
         assert!(curve.len() < rates.len(), "sweep must stop early once saturated");
+    }
+
+    fn results_eq(a: &OpenLoopResult, b: &OpenLoopResult) -> bool {
+        a.offered == b.offered
+            && a.accepted == b.accepted
+            && a.ejection_rate == b.ejection_rate
+            && a.avg_latency == b.avg_latency
+            && a.avg_request_latency == b.avg_request_latency
+            && a.avg_reply_latency == b.avg_reply_latency
+            && a.delivered_fraction == b.delivered_fraction
+    }
+
+    /// The per-cycle probe is the same loop as the monolithic runner:
+    /// ticking one probe to completion reproduces `run_open_loop`
+    /// bit for bit.
+    #[test]
+    fn probe_matches_monolithic_runner() {
+        let cfg = quick_cfg(0.02);
+        let solo = run_open_loop(&cfg);
+        let mut probe = OpenLoopProbe::new(cfg.clone(), Network::new(cfg.net.clone()));
+        while !probe.done() {
+            probe.tick();
+        }
+        assert!(results_eq(&solo, &probe.result()), "{solo:?} vs {:?}", probe.result());
+    }
+
+    /// Probes share no state: lockstep interleaving of several probes
+    /// (different rates, one shape) equals each probe run solo, and the
+    /// arena engine equals the oracle network.
+    #[test]
+    fn lockstep_probes_match_solo_and_arena_matches_oracle() {
+        let rates = [0.01, 0.03, 0.06];
+        let solo: Vec<OpenLoopResult> =
+            rates.iter().map(|&r| run_open_loop(&quick_cfg(r))).collect();
+        let mut oracle_probes: Vec<OpenLoopProbe<Network>> = rates
+            .iter()
+            .map(|&r| {
+                let cfg = quick_cfg(r);
+                OpenLoopProbe::new(cfg.clone(), Network::new(cfg.net.clone()))
+            })
+            .collect();
+        let batched = run_probes_lockstep(&mut oracle_probes);
+        for (s, b) in solo.iter().zip(&batched) {
+            assert!(results_eq(s, b), "lockstep diverged: {s:?} vs {b:?}");
+        }
+
+        let cfg = quick_cfg(0.03);
+        assert!(ArenaNetwork::supports(&cfg.net), "baseline mesh is arena-eligible");
+        let mut arena_probes =
+            vec![OpenLoopProbe::new(cfg.clone(), ArenaNetwork::new(cfg.net.clone()))];
+        let arena = run_probes_lockstep(&mut arena_probes);
+        assert!(
+            results_eq(&solo[1], &arena[0]),
+            "arena probe diverged from oracle: {:?} vs {:?}",
+            solo[1],
+            arena[0]
+        );
     }
 }

@@ -75,9 +75,15 @@ impl DiskCache {
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => String::new(),
             Err(e) => return Err(e),
         };
+        // Only '\n'-terminated lines are records: a crash mid-append
+        // leaves a partial tail, and even a tail that happens to parse
+        // (crash between the payload and its newline) is treated as the
+        // one in-flight cell the durability contract allows losing.
+        let boundary = existing.rfind('\n').map(|i| i + 1).unwrap_or(0);
+        let (complete, tail) = existing.split_at(boundary);
         let mut map = HashMap::new();
         let mut skipped_lines = 0;
-        for line in existing.lines() {
+        for line in complete.lines() {
             if line.trim().is_empty() {
                 continue;
             }
@@ -87,6 +93,16 @@ impl DiskCache {
                 }
                 None => skipped_lines += 1,
             }
+        }
+        // Trim the partial tail before reopening for append: appending
+        // after it would glue the next record onto the partial bytes and
+        // silently lose that record on the *next* replay.
+        if !tail.is_empty() {
+            if !tail.trim().is_empty() {
+                skipped_lines += 1;
+            }
+            let trim = OpenOptions::new().write(true).open(&path)?;
+            trim.set_len(boundary as u64)?;
         }
         let journal = OpenOptions::new().create(true).append(true).open(&path)?;
         Ok(DiskCache { path, journal, map, skipped_lines })
@@ -225,10 +241,40 @@ mod tests {
                 OpenOptions::new().append(true).open(DiskCache::journal_path(&dir)).unwrap();
             f.write_all(b"{\"key\":\"bad\",\"cla").unwrap();
         }
+        let cell2 = CachedCell { class: TrafficClass::HH, metrics: sample_metrics() };
+        {
+            let mut cache = DiskCache::open(&dir).unwrap();
+            assert_eq!(cache.len(), 1);
+            assert_eq!(cache.skipped_lines, 1);
+            assert!(cache.get("good").is_some());
+            // The partial line must have been trimmed: a put after reopen
+            // starts on a fresh line instead of gluing onto the stub.
+            cache.put("after-crash", cell2).unwrap();
+        }
+        let cache = DiskCache::open(&dir).unwrap();
+        assert_eq!(cache.len(), 2, "both cells survive a second replay");
+        assert!(cache.get("good").is_some());
+        assert!(cache.get("after-crash").is_some());
+        assert_eq!(cache.skipped_lines, 0, "the trimmed journal is fully parseable");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn crash_with_no_complete_lines_truncates_to_empty() {
+        let dir = tmp_dir("all-partial");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(DiskCache::journal_path(&dir), b"{\"key\":\"never-finis").unwrap();
+        let cell = CachedCell { class: TrafficClass::LL, metrics: sample_metrics() };
+        {
+            let mut cache = DiskCache::open(&dir).unwrap();
+            assert_eq!(cache.len(), 0);
+            assert_eq!(cache.skipped_lines, 1);
+            cache.put("fresh", cell).unwrap();
+        }
         let cache = DiskCache::open(&dir).unwrap();
         assert_eq!(cache.len(), 1);
-        assert_eq!(cache.skipped_lines, 1);
-        assert!(cache.get("good").is_some());
+        assert!(cache.get("fresh").is_some());
+        assert_eq!(cache.skipped_lines, 0);
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -30,7 +30,10 @@ pub mod sched;
 pub mod server;
 
 pub use cache::{CachedCell, DiskCache};
-pub use canon::{canonical_json, canonicalize, cell_key, cell_value, hash_value};
+pub use canon::{
+    canonical_json, canonicalize, cell_key, cell_value, config_cell_key, config_cell_value,
+    hash_value,
+};
 pub use client::{connect_with_retry, fetch_stats, submit, submit_on, SubmitOutcome};
 pub use proto::{classify_line, event_line, SweepRequest, DEFAULT_SCALE, DEFAULT_SEED};
 pub use sched::DeadlineRr;

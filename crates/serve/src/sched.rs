@@ -113,6 +113,19 @@ impl<T> DeadlineRr<T> {
     /// that was due soonest. Items whose key is `None` never batch. Every
     /// tenant is charged one deadline step per item taken, so batching
     /// amortizes simulator state without distorting long-run fairness.
+    ///
+    /// **Intra-tenant reordering is intentional.** The scan drains
+    /// matching items from *anywhere* in a tenant's queue, so a later
+    /// same-key cell can overtake an earlier cell with a different key
+    /// from the same tenant. Delivery order is not part of the service
+    /// contract — every record carries its cell index and clients
+    /// reassemble by index (see `SubmitOutcome::jsonl`), while
+    /// shape-coherent batches are what let the lockstep kernel advance
+    /// many cells per dispatch. Mismatched items keep their relative
+    /// order and are never dropped. Pinned by the
+    /// `same_tenant_batch_overtakes_earlier_mismatch` test; a refactor
+    /// that silently changes this weakens batching, and one that drops
+    /// the overtaken items corrupts sweeps.
     pub fn pop_batch(
         &mut self,
         max: usize,
@@ -242,6 +255,22 @@ mod tests {
         vals.sort_unstable();
         assert_eq!(vals, vec![0, 2, 3], "all x-shaped cells batch together");
         // The mismatched item is still queued, in order.
+        assert_eq!(s.pop().unwrap().1, ("y", 1));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn same_tenant_batch_overtakes_earlier_mismatch() {
+        let mut s = DeadlineRr::new();
+        s.push("a", ("x", 0));
+        s.push("a", ("y", 1));
+        s.push("a", ("x", 2));
+        let batch = s.pop_batch(8, |&(k, _)| Some(k.to_string())).unwrap();
+        let vals: Vec<i32> = batch.iter().map(|&(_, (_, v))| v).collect();
+        // The later x-shaped cell jumps the earlier y-shaped one: batches
+        // are shape-coherent, not FIFO within a tenant.
+        assert_eq!(vals, vec![0, 2], "same-shape cell overtakes an earlier mismatch");
+        // The overtaken cell is neither lost nor reordered among its peers.
         assert_eq!(s.pop().unwrap().1, ("y", 1));
         assert!(s.is_empty());
     }

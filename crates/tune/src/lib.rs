@@ -1,0 +1,801 @@
+//! # tenoc-tune — staged-fidelity search of the IPC/mm² Pareto frontier
+//!
+//! The paper's thesis is that *throughput-effective* networks — the ones
+//! that maximize application throughput per mm² of chip area — are found
+//! by co-designing topology, MC placement, routing and channel
+//! organization, not by maximizing any single network metric. This crate
+//! turns that claim into a search: it enumerates a deterministic design
+//! grid over every axis the repository models and drives each candidate
+//! through four fidelity tiers, spending simulation cycles only on
+//! candidates that static analysis cannot already rule out:
+//!
+//! - **Stage 0 — construct + verify (free):** grid points that violate
+//!   VC-layout rules are rejected by the builder with a witness; the
+//!   rest are run through `tenoc-verify`'s prover, and illegal fabrics
+//!   are rejected with the prover's witnesses. Every rejection is
+//!   recorded in the report.
+//! - **Stage 1 — static rank (cheap):** survivors are ranked by the
+//!   audit's static throughput-effectiveness score (many-to-few
+//!   saturation bound per mm²) and the best are promoted.
+//! - **Stage 2 — open-loop probes (medium):** promoted candidates are
+//!   probed at a few injection rates around their static bound, all
+//!   probes of one candidate advancing in lockstep; the measured
+//!   steady-state ejection rate per mm² decides promotion.
+//! - **Stage 3 — closed-loop halving (expensive):** survivors race
+//!   through a successive-halving ladder of full closed-loop benchmark
+//!   simulations, with results memoized through `tenoc-serve`'s
+//!   content-addressed cache, and the finalists' measured harmonic-mean
+//!   IPC per mm² defines the Pareto frontier.
+//!
+//! Pinned reference designs (the baseline mesh, the torus, the
+//! concentrated mesh) ride through every stage regardless of rank so the
+//! final report can place them against the frontier. The whole search is
+//! **bit-deterministic at any worker count**: candidate enumeration is
+//! ordered, every tie-break is total, probe seeds derive from content
+//! hashes, and the report carries no wall-clock or cache-state fields.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod report;
+pub mod space;
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+
+pub use report::{
+    BenchIpc, Finalist, FrontierPoint, GridCounts, HeatmapReport, NamedPoint, Rejection, Rung,
+    Stage1Entry, Stage2Entry, TuneReport, TuneStats,
+};
+pub use space::{config_hash, Candidate, Org, Point};
+
+use serde::Serialize;
+use tenoc_core::experiments::run_traced_with_system_config;
+use tenoc_core::{audit_icnt, harmonic_mean, AuditEntry, Preset, SystemConfig, TelemetryConfig};
+use tenoc_harness::pool::run_indexed;
+use tenoc_harness::{run_config_cells, ConfigCell};
+use tenoc_noc::openloop::{
+    run_probes_lockstep, OpenLoopConfig, OpenLoopProbe, OpenLoopResult, TrafficPattern,
+};
+use tenoc_noc::{ArenaDoubleNetwork, ArenaNetwork, DoubleNetwork, Network, RoutingKind};
+use tenoc_serve::{config_cell_key, CachedCell, DiskCache};
+use tenoc_verify::load::TrafficMatrix;
+
+/// One organization axis of the grid: a topology/placement paired with
+/// the routing functions to try on it.
+#[derive(Clone, Debug)]
+pub struct OrgAxis {
+    /// Topology + MC placement.
+    pub org: Org,
+    /// Routing functions enumerated for this organization.
+    pub routings: Vec<RoutingKind>,
+}
+
+/// The search specification: grid axes plus stage knobs. Everything that
+/// shapes the report lives here; everything about *how fast* the search
+/// runs (worker count, batching, caching) lives in [`TuneOptions`].
+#[derive(Clone, Debug)]
+pub struct TuneSpec {
+    /// Mesh radix.
+    pub k: usize,
+    /// Organization × routing axes.
+    pub axes: Vec<OrgAxis>,
+    /// Total VC counts to try.
+    pub vc_totals: Vec<u8>,
+    /// Per-VC buffer depths (flits) to try.
+    pub vc_depths: Vec<usize>,
+    /// Channel widths (bytes) to try.
+    pub channel_bytes: Vec<u32>,
+    /// Channel slicings to try: `false` = one full-width network,
+    /// `true` = two half-width slices.
+    pub slicings: Vec<bool>,
+    /// `[inject, eject]` MC port counts to try.
+    pub mc_ports: Vec<[usize; 2]>,
+    /// Candidates promoted from the static ranking to open-loop probing.
+    pub stage1_keep: usize,
+    /// Candidates promoted from probing to closed-loop halving. The
+    /// promotion is stratified by fabric family (organization/routing/
+    /// slicing): each family's best candidate first, then each family's
+    /// second-best, and so on, score-ordered within a depth, until the
+    /// quota fills.
+    pub stage2_keep: usize,
+    /// Probe injection rates, as multiples of each candidate's static
+    /// many-to-few saturation bound.
+    pub probe_multipliers: Vec<f64>,
+    /// Open-loop probe windows: `[warmup, measure, drain]` cycles.
+    pub probe_windows: [u64; 3],
+    /// Successive-halving benchmark ladder (rung order). Must not be
+    /// empty.
+    pub benchmarks: Vec<String>,
+    /// Kernel scale for the closed-loop stage.
+    pub scale: f64,
+    /// Workload seed for the closed-loop stage (shared by every cell, so
+    /// tuner cells hit the same cache addresses as fixed-seed sweeps).
+    pub seed: u64,
+    /// Reference presets carried through every stage un-eliminated.
+    pub pinned: Vec<Preset>,
+}
+
+impl TuneSpec {
+    /// The default search at radix `k`: every organization the
+    /// repository models, the paper's channel/VC/port axes, and the
+    /// smoke-suite benchmark ladder. About 480 grid points.
+    pub fn default_at(k: usize) -> Self {
+        TuneSpec {
+            k,
+            axes: Org::ALL
+                .iter()
+                .map(|&org| OrgAxis { org, routings: org.default_routings() })
+                .collect(),
+            vc_totals: vec![2, 4],
+            vc_depths: vec![4, 8],
+            channel_bytes: vec![16, 32],
+            slicings: vec![false, true],
+            mc_ports: vec![[1, 1], [2, 1], [2, 2]],
+            stage1_keep: 32,
+            stage2_keep: 16,
+            probe_multipliers: vec![0.6, 0.9, 1.3],
+            probe_windows: [2_000, 6_000, 8_000],
+            benchmarks: vec!["HIS".to_string(), "MM".to_string(), "RD".to_string()],
+            scale: 0.12,
+            seed: 0x7e0c,
+            pinned: vec![Preset::BaselineTbDor, Preset::TorusDor, Preset::CMeshDor],
+        }
+    }
+
+    /// A deliberately small search for tests: two organizations, one
+    /// rung, tiny probe windows — but still containing the paper's
+    /// throughput-effective point. 16 grid points.
+    pub fn tiny() -> Self {
+        TuneSpec {
+            k: 6,
+            axes: vec![
+                OrgAxis { org: Org::CbMeshCp, routings: vec![RoutingKind::Checkerboard] },
+                OrgAxis { org: Org::MeshTb, routings: vec![RoutingKind::DorXy] },
+            ],
+            vc_totals: vec![2, 4],
+            vc_depths: vec![8],
+            channel_bytes: vec![16],
+            slicings: vec![false, true],
+            mc_ports: vec![[1, 1], [2, 1]],
+            stage1_keep: 6,
+            stage2_keep: 4,
+            probe_multipliers: vec![0.5, 1.0],
+            probe_windows: [200, 600, 800],
+            benchmarks: vec!["HIS".to_string()],
+            scale: 0.02,
+            seed: 0x7e0c,
+            pinned: vec![Preset::BaselineTbDor],
+        }
+    }
+}
+
+/// Execution knobs that must not change a single report byte: worker
+/// count, lockstep batch size, and result caching.
+#[derive(Clone, Debug)]
+pub struct TuneOptions {
+    /// Worker threads for every parallel stage.
+    pub jobs: usize,
+    /// Lockstep batch size for same-shape closed-loop cells.
+    pub batch: usize,
+    /// Directory of a persistent result cache shared with `tenoc serve`
+    /// (cells are keyed by canonical content address, so re-runs and
+    /// preset sweeps are memoized across processes).
+    pub cache_dir: Option<PathBuf>,
+}
+
+impl Default for TuneOptions {
+    fn default() -> Self {
+        TuneOptions { jobs: 1, batch: 8, cache_dir: None }
+    }
+}
+
+/// How far a candidate got, for the named-point placement table.
+#[derive(Copy, Clone, PartialEq, Debug)]
+enum Reached {
+    Rejected,
+    Ranked,
+    Probed,
+    Halved,
+    Finalist,
+}
+
+impl Reached {
+    fn label(self) -> &'static str {
+        match self {
+            Reached::Rejected => "rejected",
+            Reached::Ranked => "ranked",
+            Reached::Probed => "probed",
+            Reached::Halved => "halved",
+            Reached::Finalist => "finalist",
+        }
+    }
+}
+
+/// Appends a rejection, merging points that share the exact witness set.
+fn push_rejection(
+    rejections: &mut Vec<Rejection>,
+    stage: &str,
+    witnesses: Vec<String>,
+    name: &str,
+) {
+    if let Some(r) = rejections.iter_mut().find(|r| r.stage == stage && r.witnesses == witnesses) {
+        r.names.push(name.to_string());
+        return;
+    }
+    rejections.push(Rejection {
+        stage: stage.to_string(),
+        witnesses,
+        names: vec![name.to_string()],
+    });
+}
+
+/// Deterministic per-probe seed: the candidate's content hash folded
+/// into the spec seed, so a probe's traffic depends on *what* is probed,
+/// never on enumeration position.
+fn probe_seed(spec_seed: u64, config_hash: &str, rate_index: usize) -> u64 {
+    let h = u64::from_str_radix(config_hash, 16).unwrap_or(0);
+    tenoc_harness::cell_seed(spec_seed ^ h, rate_index as u64)
+}
+
+fn probe_candidate(
+    cand: &Candidate,
+    audit: &AuditEntry,
+    spec: &TuneSpec,
+) -> (Vec<f64>, Vec<OpenLoopResult>) {
+    let sat =
+        audit.matrix(TrafficMatrix::ManyToFew).map(|m| m.saturation_rate).unwrap_or(0.01).max(1e-6);
+    let rates: Vec<f64> = spec.probe_multipliers.iter().map(|m| m * sat).collect();
+    // Probes drive the candidate's *actual* fabric: a double candidate
+    // is probed on its two half-width slices, not on the unsliced base
+    // (which would cap its measured ejection at the single-network
+    // capacity and structurally penalize every sliced design). Fabrics
+    // of different channel widths eject different flit counts for the
+    // same payload, so cross-candidate comparison happens on the
+    // width-independent `ejection_bytes_rate`.
+    let base = cand.icnt.net().clone();
+    let double = matches!(cand.icnt, tenoc_core::IcntConfig::Double(_));
+    let [warmup, measure, drain] = spec.probe_windows;
+    let cfgs: Vec<OpenLoopConfig> = rates
+        .iter()
+        .enumerate()
+        .map(|(i, &rate)| {
+            let mut cfg = OpenLoopConfig::new(base.clone(), rate, TrafficPattern::UniformRandom);
+            cfg.warmup = warmup;
+            cfg.measure = measure;
+            cfg.drain = drain;
+            cfg.seed = probe_seed(spec.seed, &cand.config_hash, i);
+            cfg
+        })
+        .collect();
+    // Engine choice mirrors `IcntConfig::build_interconnect`: the arena
+    // engine when the (sliced, for doubles) config is arena-eligible,
+    // the oracle network otherwise. The choice is a pure function of the
+    // config, so it cannot perturb determinism.
+    let results = if double {
+        if base.channel_bytes.is_multiple_of(2) && ArenaNetwork::supports(&base.slice()) {
+            let mut probes: Vec<OpenLoopProbe<ArenaDoubleNetwork>> = cfgs
+                .into_iter()
+                .map(|cfg| {
+                    let net = ArenaDoubleNetwork::from_single(&cfg.net);
+                    OpenLoopProbe::new(cfg, net)
+                })
+                .collect();
+            run_probes_lockstep(&mut probes)
+        } else {
+            let mut probes: Vec<OpenLoopProbe<DoubleNetwork>> = cfgs
+                .into_iter()
+                .map(|cfg| {
+                    let net = DoubleNetwork::from_single(&cfg.net);
+                    OpenLoopProbe::new(cfg, net)
+                })
+                .collect();
+            run_probes_lockstep(&mut probes)
+        }
+    } else if ArenaNetwork::supports(&base) {
+        let mut probes: Vec<OpenLoopProbe<ArenaNetwork>> = cfgs
+            .into_iter()
+            .map(|cfg| {
+                let net = ArenaNetwork::new(cfg.net.clone());
+                OpenLoopProbe::new(cfg, net)
+            })
+            .collect();
+        run_probes_lockstep(&mut probes)
+    } else {
+        let mut probes: Vec<OpenLoopProbe<Network>> = cfgs
+            .into_iter()
+            .map(|cfg| {
+                let net = Network::new(cfg.net.clone());
+                OpenLoopProbe::new(cfg, net)
+            })
+            .collect();
+        run_probes_lockstep(&mut probes)
+    };
+    (rates, results)
+}
+
+/// The Pareto frontier of `(area ↓, hm_ipc ↑)` over the finalists:
+/// smallest area first, strictly increasing harmonic-mean IPC.
+fn pareto_indices(finalists: &[Finalist]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..finalists.len()).collect();
+    order.sort_by(|&a, &b| {
+        finalists[a]
+            .area_mm2
+            .total_cmp(&finalists[b].area_mm2)
+            .then(finalists[b].hm_ipc.total_cmp(&finalists[a].hm_ipc))
+            .then(finalists[a].name.cmp(&finalists[b].name))
+    });
+    let mut best = f64::NEG_INFINITY;
+    let mut keep = Vec::new();
+    for i in order {
+        if finalists[i].hm_ipc > best {
+            best = finalists[i].hm_ipc;
+            keep.push(i);
+        }
+    }
+    keep
+}
+
+/// Runs the staged search and returns the frontier report plus the
+/// execution counters that deliberately stay out of it.
+///
+/// The report is bit-identical at any `jobs`/`batch` value and with any
+/// cache state (cold, warm, or absent).
+///
+/// # Errors
+///
+/// Returns an error only for result-cache I/O failures.
+///
+/// # Panics
+///
+/// Panics if the spec has an empty benchmark ladder or names an unknown
+/// benchmark, or if a closed-loop cell hits the safety cycle limit.
+pub fn run_tune(spec: &TuneSpec, opts: &TuneOptions) -> std::io::Result<(TuneReport, TuneStats)> {
+    assert!(!spec.benchmarks.is_empty(), "benchmark ladder must not be empty");
+    let jobs = opts.jobs.max(1);
+    let mut stats = TuneStats::default();
+    let mut rejections: Vec<Rejection> = Vec::new();
+
+    // ---- Stage 0a: enumerate and construct -------------------------------
+    let mut enumerated: u64 = 0;
+    let mut unconstructible: u64 = 0;
+    let mut cands: Vec<Candidate> = Vec::new();
+    for axis in &spec.axes {
+        for &routing in &axis.routings {
+            for &vc_total in &spec.vc_totals {
+                for &vc_depth in &spec.vc_depths {
+                    for &channel_bytes in &spec.channel_bytes {
+                        for &double in &spec.slicings {
+                            for &[mc_inject, mc_eject] in &spec.mc_ports {
+                                let p = Point {
+                                    org: axis.org,
+                                    routing,
+                                    vc_total,
+                                    vc_depth,
+                                    channel_bytes,
+                                    double,
+                                    mc_inject,
+                                    mc_eject,
+                                };
+                                enumerated += 1;
+                                match p.build(spec.k) {
+                                    Ok(icnt) => {
+                                        let config_hash = config_hash(&icnt);
+                                        cands.push(Candidate {
+                                            name: p.name(),
+                                            family: p.family(),
+                                            icnt,
+                                            config_hash,
+                                            aliases: Vec::new(),
+                                            pinned: false,
+                                        });
+                                    }
+                                    Err(witness) => {
+                                        unconstructible += 1;
+                                        push_rejection(
+                                            &mut rejections,
+                                            "unconstructible",
+                                            vec![witness],
+                                            &p.name(),
+                                        );
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // ---- Pinned reference points and preset aliases ----------------------
+    let preset_hashes: Vec<(String, String)> =
+        Preset::NAMED.iter().map(|p| (p.label(), config_hash(&p.icnt(spec.k)))).collect();
+    let mut pinned_out_of_grid: u64 = 0;
+    for p in &spec.pinned {
+        let h = config_hash(&p.icnt(spec.k));
+        match cands.iter_mut().find(|c| c.config_hash == h) {
+            Some(c) => c.pinned = true,
+            None => {
+                pinned_out_of_grid += 1;
+                cands.push(Candidate {
+                    name: format!("pin:{}", p.label()),
+                    family: format!("pin:{}", p.label()),
+                    icnt: p.icnt(spec.k),
+                    config_hash: h,
+                    aliases: Vec::new(),
+                    pinned: true,
+                });
+            }
+        }
+    }
+    for c in &mut cands {
+        c.aliases = preset_hashes
+            .iter()
+            .filter(|(_, h)| *h == c.config_hash)
+            .map(|(label, _)| label.clone())
+            .collect();
+    }
+
+    // ---- Stage 0b: verify; Stage 1: static rank --------------------------
+    let audits: Vec<AuditEntry> =
+        run_indexed(cands.len(), jobs, |i| audit_icnt(&cands[i].name, &cands[i].icnt));
+    let mut reached: Vec<Reached> = vec![Reached::Rejected; cands.len()];
+    let mut legal: Vec<usize> = Vec::new();
+    for (i, a) in audits.iter().enumerate() {
+        if !a.legal {
+            push_rejection(&mut rejections, "verify", a.violations.clone(), &cands[i].name);
+            continue;
+        }
+        let unroutable =
+            a.matrix(TrafficMatrix::ManyToFew).map(|m| m.demands_unroutable).unwrap_or(0);
+        if unroutable > 0 {
+            push_rejection(
+                &mut rejections,
+                "unroutable",
+                vec![format!(
+                    "{unroutable} many-to-few demands have no legal path; the fabric \
+                     cannot serve its own memory traffic"
+                )],
+                &cands[i].name,
+            );
+            continue;
+        }
+        reached[i] = Reached::Ranked;
+        legal.push(i);
+    }
+    let rejected = cands.len() as u64 - legal.len() as u64;
+
+    legal.sort_by(|&a, &b| {
+        audits[b].te_score.total_cmp(&audits[a].te_score).then(cands[a].name.cmp(&cands[b].name))
+    });
+    let stage1_cut: Vec<usize> = legal.iter().copied().take(spec.stage1_keep).collect();
+    let probe_set: Vec<usize> =
+        legal.iter().copied().filter(|&i| stage1_cut.contains(&i) || cands[i].pinned).collect();
+    let stage1: Vec<Stage1Entry> = probe_set
+        .iter()
+        .map(|&i| {
+            let a = &audits[i];
+            let m2f = a.matrix(TrafficMatrix::ManyToFew);
+            Stage1Entry {
+                name: cands[i].name.clone(),
+                aliases: cands[i].aliases.clone(),
+                config_hash: cands[i].config_hash.clone(),
+                te_score: a.te_score,
+                saturation_rate: m2f.map(|m| m.saturation_rate).unwrap_or(0.0),
+                accepted_bound: m2f.map(|m| m.accepted_bound).unwrap_or(0.0),
+                area_mm2: a.area_mm2,
+                noc_area_mm2: a.noc_area_mm2,
+                promoted: stage1_cut.contains(&i),
+                pinned: cands[i].pinned,
+            }
+        })
+        .collect();
+
+    // ---- Stage 2: open-loop probes ---------------------------------------
+    for &i in &probe_set {
+        reached[i] = Reached::Probed;
+    }
+    let probed: Vec<(Vec<f64>, Vec<OpenLoopResult>)> = run_indexed(probe_set.len(), jobs, |j| {
+        probe_candidate(&cands[probe_set[j]], &audits[probe_set[j]], spec)
+    });
+    stats.probes = probed.iter().map(|(r, _)| r.len()).sum();
+    let mut stage2: Vec<Stage2Entry> = probe_set
+        .iter()
+        .zip(&probed)
+        .map(|(&i, (rates, results))| {
+            let best = results.iter().map(|r| r.ejection_bytes_rate).fold(0.0, f64::max);
+            Stage2Entry {
+                name: cands[i].name.clone(),
+                family: cands[i].family.clone(),
+                rates: rates.clone(),
+                ejection_rates: results.iter().map(|r| r.ejection_rate).collect(),
+                ejection_bytes: results.iter().map(|r| r.ejection_bytes_rate).collect(),
+                probe_score: 1000.0 * best / audits[i].area_mm2,
+                promoted: false,
+                pinned: cands[i].pinned,
+            }
+        })
+        .collect();
+    let mut order: Vec<usize> = (0..stage2.len()).collect();
+    order.sort_by(|&a, &b| {
+        stage2[b]
+            .probe_score
+            .total_cmp(&stage2[a].probe_score)
+            .then(stage2[a].name.cmp(&stage2[b].name))
+    });
+    // Stratified promotion: every family's best candidate first, then
+    // every family's second-best, and so on (score order within each
+    // depth) until `stage2_keep` slots are filled. Open-loop saturation
+    // throughput prices fabric families very differently from the
+    // closed-loop objective — a sliced network trades peak reply
+    // bandwidth for area, which only pays off below saturation — so a
+    // global top-N here would let one family flood the cut and starve
+    // exactly the designs the closed-loop stage exists to measure.
+    let mut family_depth: HashMap<&str, usize> = HashMap::new();
+    let mut depth_pools: Vec<Vec<usize>> = Vec::new();
+    for &j in &order {
+        let d = family_depth.entry(stage2[j].family.as_str()).or_insert(0);
+        if depth_pools.len() == *d {
+            depth_pools.push(Vec::new());
+        }
+        depth_pools[*d].push(j);
+        *d += 1;
+    }
+    let mut slots = spec.stage2_keep;
+    'promote: for pool in &depth_pools {
+        for &j in pool {
+            if slots == 0 {
+                break 'promote;
+            }
+            stage2[j].promoted = true;
+            slots -= 1;
+        }
+    }
+    let mut alive: Vec<usize> = order
+        .iter()
+        .filter(|&&j| stage2[j].promoted || stage2[j].pinned)
+        .map(|&j| probe_set[j])
+        .collect();
+    let stage2_promoted = alive.len() as u64;
+    stage2.sort_by(|a, b| b.probe_score.total_cmp(&a.probe_score).then(a.name.cmp(&b.name)));
+
+    // ---- Stage 3: successive halving over the benchmark ladder -----------
+    let mut cache = match &opts.cache_dir {
+        Some(dir) => Some(DiskCache::open(dir)?),
+        None => None,
+    };
+    let mut per_bench: HashMap<usize, Vec<BenchIpc>> = HashMap::new();
+    let mut rungs: Vec<Rung> = Vec::new();
+    let mut stage3_cells: u64 = 0;
+    for (r, bench) in spec.benchmarks.iter().enumerate() {
+        for &i in &alive {
+            reached[i] = Reached::Halved;
+        }
+        let cells: Vec<ConfigCell> = alive
+            .iter()
+            .map(|&i| ConfigCell {
+                icnt: cands[i].icnt.clone(),
+                benchmark: bench.clone(),
+                scale: spec.scale,
+                seed: spec.seed,
+            })
+            .collect();
+        stage3_cells += cells.len() as u64;
+        stats.stage3_cells += cells.len();
+        let keys: Vec<String> =
+            cells.iter().map(|c| config_cell_key(&c.icnt, &c.benchmark, c.scale, c.seed)).collect();
+        let mut metrics: Vec<Option<tenoc_core::RunMetrics>> = keys
+            .iter()
+            .map(|k| cache.as_ref().and_then(|c| c.get(k)).map(|hit| hit.metrics))
+            .collect();
+        stats.stage3_cache_hits += metrics.iter().filter(|m| m.is_some()).count();
+        let miss: Vec<usize> = (0..cells.len()).filter(|&j| metrics[j].is_none()).collect();
+        let miss_cells: Vec<ConfigCell> = miss.iter().map(|&j| cells[j].clone()).collect();
+        let fresh = run_config_cells(&miss_cells, jobs, opts.batch);
+        for (&j, &(class, m)) in miss.iter().zip(fresh.iter()) {
+            metrics[j] = Some(m);
+            if let Some(c) = cache.as_mut() {
+                c.put(&keys[j], CachedCell { class, metrics: m })?;
+            }
+        }
+        for (&i, m) in alive.iter().zip(&metrics) {
+            let m = m.expect("every cell measured");
+            per_bench.entry(i).or_default().push(BenchIpc {
+                benchmark: bench.clone(),
+                ipc: m.ipc,
+                avg_net_latency: m.avg_net_latency,
+            });
+        }
+        // Re-rank on the objective measured so far and halve the field
+        // (pinned reference points always survive; the last rung keeps
+        // everyone — its entrants are the finalists).
+        alive.sort_by(|&a, &b| {
+            let obj =
+                |i: usize| harmonic_mean(per_bench[&i].iter().map(|x| x.ipc)) / audits[i].area_mm2;
+            obj(b).total_cmp(&obj(a)).then(cands[a].name.cmp(&cands[b].name))
+        });
+        if r + 1 < spec.benchmarks.len() {
+            let open = alive.iter().filter(|&&i| !cands[i].pinned).count();
+            let keep = open.div_ceil(2).max(2.min(open));
+            let mut kept = 0usize;
+            alive.retain(|&i| {
+                if cands[i].pinned {
+                    return true;
+                }
+                kept += 1;
+                kept <= keep
+            });
+        }
+        rungs.push(Rung {
+            benchmark: bench.clone(),
+            entrants: cells.len() as u64,
+            survivors: alive.iter().map(|&i| cands[i].name.clone()).collect(),
+        });
+    }
+
+    // ---- Finalists and the frontier --------------------------------------
+    for &i in &alive {
+        reached[i] = Reached::Finalist;
+    }
+    let finalists: Vec<Finalist> = alive
+        .iter()
+        .map(|&i| {
+            let per = per_bench[&i].clone();
+            let hm = harmonic_mean(per.iter().map(|x| x.ipc));
+            Finalist {
+                name: cands[i].name.clone(),
+                aliases: cands[i].aliases.clone(),
+                config_hash: cands[i].config_hash.clone(),
+                area_mm2: audits[i].area_mm2,
+                per_bench: per,
+                hm_ipc: hm,
+                ipc_per_mm2: hm / audits[i].area_mm2,
+                pinned: cands[i].pinned,
+            }
+        })
+        .collect();
+    let frontier_idx = pareto_indices(&finalists);
+
+    // Telemetry heatmaps for each frontier point, captured on the first
+    // ladder benchmark (telemetry observes without perturbing, so this
+    // re-run measures exactly the cell stage 3 scored).
+    let heat_bench = spec.benchmarks[0].clone();
+    let heat_spec = tenoc_workloads::by_name(&heat_bench)
+        .unwrap_or_else(|| panic!("unknown benchmark {heat_bench}"));
+    let heatmaps: Vec<Vec<HeatmapReport>> = run_indexed(frontier_idx.len(), jobs, |j| {
+        let f = &finalists[frontier_idx[j]];
+        let i = alive[frontier_idx[j]];
+        debug_assert_eq!(cands[i].name, f.name);
+        let mut cfg = SystemConfig::with_icnt(cands[i].icnt.clone());
+        cfg.seed = spec.seed;
+        let (_, reports) =
+            run_traced_with_system_config(cfg, &heat_spec, spec.scale, TelemetryConfig::default());
+        reports
+            .into_iter()
+            .map(|t| HeatmapReport {
+                label: t.label,
+                benchmark: heat_bench.clone(),
+                heatmap: t.heatmap,
+            })
+            .collect()
+    });
+    let frontier: Vec<FrontierPoint> = frontier_idx
+        .iter()
+        .zip(heatmaps)
+        .map(|(&j, heatmaps)| {
+            let f = &finalists[j];
+            let i = alive[j];
+            FrontierPoint {
+                name: f.name.clone(),
+                aliases: f.aliases.clone(),
+                config_hash: f.config_hash.clone(),
+                area_mm2: f.area_mm2,
+                noc_area_mm2: audits[i].noc_area_mm2,
+                hm_ipc: f.hm_ipc,
+                ipc_per_mm2: f.ipc_per_mm2,
+                te_score: audits[i].te_score,
+                resolved: tenoc_serve::canonicalize(&cands[i].icnt.to_value()),
+                heatmaps,
+            }
+        })
+        .collect();
+
+    // ---- Named-point placement -------------------------------------------
+    let named_points: Vec<NamedPoint> = preset_hashes
+        .iter()
+        .map(|(label, h)| {
+            let cand = cands.iter().position(|c| &c.config_hash == h);
+            NamedPoint {
+                preset: label.clone(),
+                candidate: cand.map(|i| cands[i].name.clone()).unwrap_or_else(|| "-".into()),
+                stage_reached: cand
+                    .map(|i| reached[i].label().to_string())
+                    .unwrap_or_else(|| "not-in-grid".into()),
+                on_frontier: frontier.iter().any(|p| &p.config_hash == h),
+            }
+        })
+        .collect();
+
+    let counts = GridCounts {
+        enumerated,
+        unconstructible,
+        rejected,
+        legal: legal.len() as u64,
+        pinned_out_of_grid,
+        stage1_promoted: probe_set.len() as u64,
+        stage2_promoted,
+        stage3_cells,
+        finalists: finalists.len() as u64,
+        frontier: frontier.len() as u64,
+    };
+    let report = TuneReport {
+        k: spec.k as u64,
+        scale: spec.scale,
+        seed: spec.seed,
+        benchmarks: spec.benchmarks.clone(),
+        counts,
+        rejections,
+        stage1,
+        stage2,
+        rungs,
+        finalists,
+        frontier,
+        named_points,
+    };
+    Ok((report, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_search_is_deterministic_across_jobs_and_finds_thr_eff() {
+        let spec = TuneSpec::tiny();
+        let (a, _) = run_tune(&spec, &TuneOptions { jobs: 1, batch: 1, cache_dir: None }).unwrap();
+        let (b, _) = run_tune(&spec, &TuneOptions { jobs: 4, batch: 8, cache_dir: None }).unwrap();
+        assert_eq!(a.to_json(), b.to_json(), "report must be byte-identical at any jobs/batch");
+        assert!(
+            a.frontier_has_alias("Thr-Eff"),
+            "tiny search must rediscover the throughput-effective point; frontier: {:?}",
+            a.frontier.iter().map(|p| &p.name).collect::<Vec<_>>()
+        );
+        // Every enumerated point is accounted for.
+        let c = &a.counts;
+        assert_eq!(
+            c.enumerated + c.pinned_out_of_grid,
+            c.unconstructible + c.rejected + c.legal,
+            "grid accounting must balance: {c:?}"
+        );
+        assert!(c.frontier >= 1 && c.frontier <= c.finalists);
+    }
+
+    #[test]
+    fn cache_reuse_does_not_change_the_report() {
+        let dir = std::env::temp_dir().join(format!("tenoc-tune-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let spec = TuneSpec::tiny();
+        let cold_opts = TuneOptions { jobs: 2, batch: 4, cache_dir: Some(dir.clone()) };
+        let (cold, cold_stats) = run_tune(&spec, &cold_opts).unwrap();
+        let (warm, warm_stats) = run_tune(&spec, &cold_opts).unwrap();
+        assert_eq!(cold.to_json(), warm.to_json());
+        assert_eq!(cold_stats.stage3_cache_hits, 0);
+        assert_eq!(warm_stats.stage3_cache_hits, warm_stats.stage3_cells);
+        let (nocache, _) = run_tune(&spec, &TuneOptions::default()).unwrap();
+        assert_eq!(cold.to_json(), nocache.to_json());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn pinned_baseline_survives_to_the_finalists() {
+        let spec = TuneSpec::tiny();
+        let (report, _) = run_tune(&spec, &TuneOptions::default()).unwrap();
+        let baseline = report
+            .named_points
+            .iter()
+            .find(|n| n.preset == "TB-DOR")
+            .expect("baseline is a named point");
+        assert_eq!(baseline.stage_reached, "finalist", "pinned points ride every stage");
+    }
+}

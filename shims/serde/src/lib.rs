@@ -185,6 +185,20 @@ impl<T: Deserialize> Deserialize for Option<T> {
     }
 }
 
+/// `Value` serializes as itself, so derived types can embed raw JSON
+/// trees (e.g. an already-resolved configuration) without re-encoding.
+impl Serialize for json::Value {
+    fn to_value(&self) -> json::Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for json::Value {
+    fn from_value(v: &json::Value) -> Result<Self, json::Error> {
+        Ok(v.clone())
+    }
+}
+
 macro_rules! impl_tuple {
     ($(($($name:ident : $idx:tt),+))*) => {$(
         impl<$($name: Serialize),+> Serialize for ($($name,)+) {

@@ -9,12 +9,14 @@
 //! tenoc trace --preset thr-eff [--benchmark RD] [--scale F] [--out DIR]
 //!             [--flight-cap N] [--node N] [--class request|reply]
 //! tenoc audit [--k N] [--out FILE] [--json] [--golden FILE --check|--bless]
+//! tenoc tune [--k N] [--tiny] [--jobs N] [--batch B] [--scale F] [--seed N]
+//!            [--cache DIR] [--out FILE] [--json] [--golden FILE --check|--bless]
 //! tenoc serve [--addr HOST:PORT] [--cache DIR] [--jobs N] [--batch B]
 //! tenoc submit [--addr HOST:PORT] [--tenant NAME] [--tiny]
 //!              [--presets A,B] [--benchmarks X,Y] [--scale F] [--seed N]
 //!              [--out FILE] [--require-cached] | --stats [--out FILE]
 //! tenoc openloop --preset cp-cr-2p [--hotspot] [--rates 0.01..0.12]
-//! tenoc engine-bench [--scale F] [--batch N] [--out FILE]
+//! tenoc engine-bench [--preset NAME] [--k N] [--scale F] [--batch N] [--out FILE]
 //! tenoc area
 //! tenoc classify [--scale 0.12]
 //! tenoc list
@@ -26,7 +28,7 @@
 use std::collections::HashMap;
 use std::process::ExitCode;
 use tenoc::core::area::{throughput_effectiveness, AreaModel};
-use tenoc::core::experiments::{run_benchmark, run_suite, scale_from_env};
+use tenoc::core::experiments::{run_benchmark, run_suite, run_with_icnt, scale_from_env};
 use tenoc::core::presets::Preset;
 use tenoc::core::SweepReport;
 use tenoc::noc::openloop::{run_open_loop, OpenLoopConfig, TrafficPattern};
@@ -71,6 +73,12 @@ fn usage() -> ExitCode {
                       flight recorder -> trace.json + flight.jsonl)\n\
            audit     [--k N] [--out FILE] [--json] [--golden FILE --check|--bless]\n\
                      (static config-space audit: verify, bound, price, rank)\n\
+           tune      [--k N] [--tiny] [--jobs N] [--batch B] [--scale F]\n\
+                     [--seed N] [--cache DIR] [--out FILE] [--json]\n\
+                     [--golden FILE --check|--bless]\n\
+                     (staged-fidelity search of the IPC/mm2 Pareto frontier:\n\
+                      verify -> static rank -> open-loop probes -> closed-loop\n\
+                      successive halving; --cache memoizes cells)\n\
            serve     [--addr HOST:PORT] [--cache DIR] [--jobs N] [--batch B]\n\
                      (long-running sweep service: content-addressed cache,\n\
                       in-flight dedup, tenant-fair scheduling; default addr\n\
@@ -81,8 +89,9 @@ fn usage() -> ExitCode {
                      (submit a grid to a running service; --stats fetches the\n\
                       service counters instead)\n\
            openloop  --preset <NAME> [--hotspot] [--rate F]\n\
-           engine-bench [--preset NAME] [--scale F] [--batch N] [--out FILE]\n\
-                     (simulator speed probe; default preset thr-eff)\n\
+           engine-bench [--preset NAME] [--k N] [--scale F] [--batch N]\n\
+                     [--out FILE] (simulator speed probe; default thr-eff at\n\
+                      k=6; one radix feeds both engine paths)\n\
            area      (Table VI summary)\n\
            classify  [--scale F] (measured LL/LH/HH classes)\n\
            list      (benchmarks and presets)\n\
@@ -146,6 +155,7 @@ fn main() -> ExitCode {
         "serve" => return cmd_serve(&flags),
         "submit" => return cmd_submit(&flags),
         "audit" => return cmd_audit(&flags),
+        "tune" => return cmd_tune(&flags),
         "trace" => return cmd_trace(&flags, scale),
         "engine-bench" => return cmd_engine_bench(&flags),
         "openloop" => {
@@ -416,6 +426,7 @@ fn cmd_engine_bench(flags: &HashMap<String, String>) -> ExitCode {
 
     let scale = flags.get("scale").and_then(|s| s.parse::<f64>().ok()).unwrap_or(1.0);
     let batch = flags.get("batch").and_then(|b| b.parse::<usize>().ok()).unwrap_or(1).max(1);
+    let k = flags.get("k").and_then(|k| k.parse::<usize>().ok()).unwrap_or(6);
     let Some(spec) = by_name("RD") else {
         eprintln!("engine-bench: RD benchmark missing");
         return ExitCode::FAILURE;
@@ -430,11 +441,18 @@ fn cmd_engine_bench(flags: &HashMap<String, String>) -> ExitCode {
             }
         },
     };
-    eprintln!("engine-bench: {} on {} at scale {scale}, batch {batch}", spec.name, preset.label());
+    // One radix feeds both the single-cell probe and the batched path,
+    // so `--k` can never silently bench two different networks.
+    let icnt = preset.icnt(k);
+    eprintln!(
+        "engine-bench: {} on {} (k={k}) at scale {scale}, batch {batch}",
+        spec.name,
+        preset.label()
+    );
 
     // Single-cell rate on the per-cell oracle kernel (the B=1 reference).
     let start = std::time::Instant::now();
-    let m = run_benchmark(preset, &spec, scale);
+    let m = run_with_icnt(icnt.clone(), &spec, scale);
     let wall_nanos = start.elapsed().as_nanos() as u64;
     let perf = tenoc::harness::RunPerf::measure(m.icnt_cycles, wall_nanos);
     let speedup = perf.sim_cycles_per_sec / BASELINE_CYCLES_PER_SEC;
@@ -451,7 +469,7 @@ fn cmd_engine_bench(flags: &HashMap<String, String>) -> ExitCode {
         let scaled = spec.scaled(scale);
         let mut systems: Vec<tenoc::core::System> = (0..batch)
             .map(|i| {
-                let mut cfg = tenoc::core::SystemConfig::with_icnt(preset.icnt(6));
+                let mut cfg = tenoc::core::SystemConfig::with_icnt(icnt.clone());
                 cfg.seed = tenoc::harness::cell_seed(0x7e0c, i as u64);
                 cfg.engine = tenoc::core::EngineKind::Arena;
                 tenoc::core::System::new(cfg, &scaled)
@@ -737,6 +755,125 @@ fn cmd_audit(flags: &HashMap<String, String>) -> ExitCode {
             eprintln!("audit: report matches the golden snapshot");
         } else {
             eprintln!("audit: --golden needs --check or --bless");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// `tenoc tune`: staged-fidelity search of the IPC/mm² Pareto frontier.
+fn cmd_tune(flags: &HashMap<String, String>) -> ExitCode {
+    use tenoc::tune::{run_tune, TuneOptions, TuneSpec};
+
+    let k = flags.get("k").and_then(|v| v.parse::<usize>().ok()).unwrap_or(6);
+    if k < 2 {
+        eprintln!("tune: --k must be at least 2");
+        return ExitCode::FAILURE;
+    }
+    let mut spec =
+        if flags.contains_key("tiny") { TuneSpec::tiny() } else { TuneSpec::default_at(k) };
+    // The spec's own scale/seed are the deterministic defaults; explicit
+    // flags override them (and change every content address with them).
+    if let Some(s) = flags.get("scale").and_then(|v| v.parse::<f64>().ok()) {
+        spec.scale = s;
+    }
+    if let Some(s) = flags.get("seed").and_then(|v| v.parse::<u64>().ok()) {
+        spec.seed = s;
+    }
+    let opts = TuneOptions {
+        jobs: flags
+            .get("jobs")
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or_else(tenoc::harness::jobs_from_env),
+        batch: flags.get("batch").and_then(|v| v.parse::<usize>().ok()).unwrap_or(8),
+        cache_dir: flags.get("cache").map(std::path::PathBuf::from),
+    };
+    let (report, stats) = match run_tune(&spec, &opts) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("tune: result cache error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let json = report.to_json();
+    // Execution counters go to stderr only: the report must stay
+    // byte-identical whatever the cache already held.
+    eprintln!(
+        "tune: {} enumerated, {} legal, {} probed, {} halved; {} closed-loop cells \
+         ({} from cache), {} finalists, {} on the frontier",
+        report.counts.enumerated,
+        report.counts.legal,
+        report.counts.stage1_promoted,
+        report.counts.stage2_promoted,
+        stats.stage3_cells,
+        stats.stage3_cache_hits,
+        report.counts.finalists,
+        report.counts.frontier
+    );
+
+    if flags.contains_key("json") {
+        println!("{json}");
+    } else {
+        println!(
+            "{:>28} {:>10} {:>8} {:>10} {:>9}  aliases",
+            "frontier point", "chip[mm2]", "HM-IPC", "IPC/mm2", "te-score"
+        );
+        for p in &report.frontier {
+            println!(
+                "{:>28} {:>10.1} {:>8.1} {:>10.3} {:>9.4}  {}",
+                p.name,
+                p.area_mm2,
+                p.hm_ipc,
+                p.ipc_per_mm2,
+                p.te_score,
+                if p.aliases.is_empty() { "-".to_string() } else { p.aliases.join(", ") }
+            );
+        }
+        println!("\nnamed design points:");
+        for n in &report.named_points {
+            println!(
+                "{:>22} -> {:<32} {:>9}{}",
+                n.preset,
+                n.candidate,
+                n.stage_reached,
+                if n.on_frontier { "  [frontier]" } else { "" }
+            );
+        }
+    }
+
+    if let Some(path) = flags.get("out") {
+        if let Err(e) = std::fs::write(path, &json) {
+            eprintln!("tune: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("tune: wrote {path}");
+    }
+
+    if let Some(golden_path) = flags.get("golden") {
+        if flags.contains_key("bless") {
+            if let Err(e) = std::fs::write(golden_path, &json) {
+                eprintln!("tune: cannot bless {golden_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("tune: blessed golden snapshot {golden_path}");
+        } else if flags.contains_key("check") {
+            let golden = match std::fs::read_to_string(golden_path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("tune: cannot read golden {golden_path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            if golden.trim() != json.trim() {
+                eprintln!(
+                    "tune: report differs from golden {golden_path}; \
+                     re-run with --bless to accept the new frontier"
+                );
+                return ExitCode::FAILURE;
+            }
+            eprintln!("tune: report matches the golden snapshot");
+        } else {
+            eprintln!("tune: --golden needs --check or --bless");
             return ExitCode::FAILURE;
         }
     }

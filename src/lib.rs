@@ -24,6 +24,10 @@
 //!   JSON lines over TCP, a content-addressed persistent result cache,
 //!   in-flight dedup and tenant-fair deadline-RR scheduling, streaming
 //!   byte-identical records to batch `tenoc sweep`.
+//! * [`tune`] — the throughput-effectiveness autotuner behind
+//!   `tenoc tune`: a staged-fidelity search (verify, static rank,
+//!   open-loop probes, closed-loop successive halving) of the IPC/mm²
+//!   Pareto frontier over the interconnect design space.
 //!
 //! See `README.md` for a quickstart and `EXPERIMENTS.md` for the
 //! paper-vs-measured record of every figure and table.
@@ -38,5 +42,6 @@ pub use tenoc_harness as harness;
 pub use tenoc_noc as noc;
 pub use tenoc_serve as serve;
 pub use tenoc_simt as simt;
+pub use tenoc_tune as tune;
 pub use tenoc_verify as verify;
 pub use tenoc_workloads as workloads;
